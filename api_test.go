@@ -1,0 +1,253 @@
+package ssdx
+
+// Integration tests of the public API and the experiment harness, at reduced
+// scale. These are the end-to-end checks a downstream user of the library
+// relies on; the full-scale published numbers live in EXPERIMENTS.md.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPresetsResolve(t *testing.T) {
+	for _, name := range []string{"default", "vertex", "t2:C1", "t2:C10", "t3:C1", "t3:C8"} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestNewWorkloadValidates(t *testing.T) {
+	if _, err := NewWorkload("SW", 4096, 1<<20, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkload("XX", 4096, 1<<20, 100); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if _, err := NewWorkload("SW", 0, 1<<20, 100); err == nil {
+		t.Fatal("bad block size accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	w, _ := NewWorkload("SW", 4096, 1<<26, 2000)
+	res, err := Run(DefaultConfig(), w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBps <= 0 || res.Completed != 2000 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.MeanLatUS <= 0 || res.P99LatUS < res.MeanLatUS {
+		t.Fatalf("latency stats: mean %v p99 %v", res.MeanLatUS, res.P99LatUS)
+	}
+}
+
+func TestConfigFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plat.cfg")
+	cfg := VertexConfig()
+	cfg.Wear = 0.3
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Render(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Fatalf("config file round trip mismatch")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.cfg")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTraceFileWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	w, _ := NewWorkload("SW", 4096, 1<<24, 1500)
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceFile(path, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("trace length %d != %d", len(back), len(reqs))
+	}
+	res, err := RunTrace(DefaultConfig(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != uint64(len(reqs)) {
+		t.Fatalf("replay completed %d of %d", res.Completed, len(reqs))
+	}
+}
+
+func TestRunTraceClassifiesPattern(t *testing.T) {
+	// A random-write trace must engage the WAF abstraction; sequential not.
+	wr, _ := NewWorkload("RW", 4096, 1<<26, 1200)
+	randReqs, _ := wr.Generate()
+	res, err := RunTrace(VertexConfig(), randReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WAF < 2 {
+		t.Fatalf("random trace WAF %.2f", res.WAF)
+	}
+	ws, _ := NewWorkload("SW", 4096, 1<<26, 1200)
+	seqReqs, _ := ws.Generate()
+	res, err = RunTrace(VertexConfig(), seqReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WAF != 1 {
+		t.Fatalf("sequential trace WAF %.2f", res.WAF)
+	}
+}
+
+func TestRunTraceMixedReadWrite(t *testing.T) {
+	// Writes below the read region, reads above: replay must preload reads
+	// and complete everything.
+	var reqs []trace.Request
+	for i := 0; i < 300; i++ {
+		reqs = append(reqs, trace.Request{Op: trace.OpWrite, LBA: int64(i) * 8, Bytes: 4096})
+		reqs = append(reqs, trace.Request{Op: trace.OpRead, LBA: int64(i) * 8, Bytes: 4096})
+	}
+	res, err := RunTrace(DefaultConfig(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 600 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+func TestFig2HarnessSmall(t *testing.T) {
+	rows, err := Fig2Validation(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SimMBps <= 0 || r.RefMBps <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+	var sb strings.Builder
+	WriteFig2Table(&sb, rows)
+	if !strings.Contains(sb.String(), "SW") {
+		t.Fatalf("table rendering: %s", sb.String())
+	}
+}
+
+func TestDSEHarnessSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := DesignSpaceExploration("sata2", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// Structural sanity at small scale: every column positive and the host
+	// columns config-independent.
+	for _, r := range rows {
+		if r.DDRFlash <= 0 || r.SSDCache <= 0 || r.SSDNoCache <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+		if r.HostIdeal < rows[0].HostIdeal*0.99 || r.HostIdeal > rows[0].HostIdeal*1.01 {
+			t.Fatalf("host ideal varies across configs: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	WriteDSETable(&sb, "sata2", rows)
+	if !strings.Contains(sb.String(), "C10") {
+		t.Fatalf("table rendering")
+	}
+}
+
+func TestWearHarnessSmall(t *testing.T) {
+	rows, err := WearoutSweep(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0].AdaptiveRead <= rows[0].FixedRead {
+		t.Fatalf("adaptive advantage missing even at small scale: %+v", rows[0])
+	}
+	var sb strings.Builder
+	WriteWearTable(&sb, rows)
+	if !strings.Contains(sb.String(), "adaptive R") {
+		t.Fatalf("table rendering")
+	}
+}
+
+func TestSpeedHarnessSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := SimulationSpeed(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// Shape: small configs simulate faster than the 8192-die monster.
+	if rows[0].KCPS <= rows[7].KCPS {
+		t.Fatalf("KCPS not decreasing: C1 %.0f vs C8 %.0f", rows[0].KCPS, rows[7].KCPS)
+	}
+	var sb strings.Builder
+	WriteSpeedTable(&sb, rows)
+	if !strings.Contains(sb.String(), "KCPS") {
+		t.Fatalf("table rendering")
+	}
+}
+
+func TestFeatureMatrix(t *testing.T) {
+	m := FeatureMatrix()
+	for _, want := range []string{"WAF FTL", "Real firmware exec", "Multi Core", "Compression"} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("feature matrix missing %q", want)
+		}
+	}
+}
+
+func TestBuildExposesPlatform(t *testing.T) {
+	p, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Host == nil || p.CPU == nil || p.Bus == nil || len(p.Channels) != 4 {
+		t.Fatalf("platform components missing")
+	}
+}

@@ -1,0 +1,32 @@
+// Command dse reproduces the paper's optimal-design-point exploration:
+// Fig. 3 (SATA II host) and Fig. 4 (PCIe Gen2 x8 + NVMe host) over the ten
+// Table II configurations, printing all five breakdown columns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ssdx "repro"
+)
+
+func main() {
+	host := flag.String("host", "sata2", "host interface: sata2 (Fig. 3) or pcie-g2x8 (Fig. 4)")
+	scale := flag.Float64("scale", 1, "workload scale in (0,1]")
+	list := flag.Bool("list", false, "print the Table II configurations and exit")
+	flag.Parse()
+	if *list {
+		fmt.Println("# Table II — SSD configurations")
+		for _, c := range ssdx.TableII() {
+			fmt.Printf("%-4s %s\n", c.Name, c.Describe())
+		}
+		return
+	}
+	rows, err := ssdx.DesignSpaceExploration(*host, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+	ssdx.WriteDSETable(os.Stdout, *host, rows)
+}

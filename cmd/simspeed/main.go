@@ -1,0 +1,34 @@
+// Command simspeed reproduces the paper's Fig. 6: simulation speed in
+// kilo-cycles per second over the eight Table III configurations. Absolute
+// values depend on the host machine and kernel technology (this is a Go
+// event-driven kernel, not SystemC); the reproduction target is the
+// inverse scaling of speed with instantiated resources.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ssdx "repro"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "workload scale in (0,1]")
+	list := flag.Bool("list", false, "print the Table III configurations and exit")
+	flag.Parse()
+	if *list {
+		fmt.Println("# Table III — simulation-speed configurations")
+		for _, c := range ssdx.TableIII() {
+			fmt.Printf("%-4s %s\n", c.Name, c.Describe())
+		}
+		return
+	}
+	rows, err := ssdx.SimulationSpeed(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simspeed:", err)
+		os.Exit(1)
+	}
+	fmt.Println("# Fig. 6 — simulation speed (KCPS)")
+	ssdx.WriteSpeedTable(os.Stdout, rows)
+}

@@ -1,0 +1,115 @@
+// Command ssdexplorer runs one SSD platform simulation: a configuration
+// (preset or file) plus a synthetic workload or trace file, in any of the
+// paper's measurement modes, and prints the measured result.
+//
+// Examples:
+//
+//	ssdexplorer -preset vertex -pattern SW -requests 20000
+//	ssdexplorer -preset t2:C6 -mode ddr+flash
+//	ssdexplorer -config my.cfg -trace workload.trace
+//	ssdexplorer -preset vertex -dumpconfig
+//	ssdexplorer -features
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ssdx "repro"
+)
+
+func main() {
+	var (
+		preset     = flag.String("preset", "default", "configuration preset: default, vertex, t2:C1..C10, t3:C1..C8")
+		configPath = flag.String("config", "", "platform configuration file (overrides -preset)")
+		pattern    = flag.String("pattern", "SW", "workload pattern: SW, SR, RW, RR")
+		block      = flag.Int64("block", 4096, "request payload in bytes")
+		span       = flag.Int64("span", 1<<28, "addressable span exercised, bytes")
+		requests   = flag.Int("requests", 12000, "number of requests")
+		mode       = flag.String("mode", "ssd", "measurement mode: ssd, host-ideal, host+ddr, ddr+flash")
+		tracePath  = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
+		dump       = flag.Bool("dumpconfig", false, "print the resolved configuration and exit")
+		features   = flag.Bool("features", false, "print the Table I feature matrix and exit")
+		verbose    = flag.Bool("v", false, "print microarchitectural detail")
+	)
+	flag.Parse()
+
+	if *features {
+		fmt.Print(ssdx.FeatureMatrix())
+		return
+	}
+
+	cfg, err := resolveConfig(*configPath, *preset)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		if err := cfg.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var res ssdx.Result
+	if *tracePath != "" {
+		reqs, err := ssdx.ParseTraceFile(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = ssdx.RunTrace(cfg, reqs)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		w, err := ssdx.NewWorkload(*pattern, *block, *span, *requests)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := parseMode(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = ssdx.Run(cfg, w, m)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Println(res)
+	if *verbose {
+		fmt.Printf("  steady %.1f MB/s (whole-run %.1f)\n", res.MBps, res.RampMBps)
+		fmt.Printf("  sim time %v, wall %.2fs, %d events, %.0f KCPS\n",
+			res.SimTime, res.WallSeconds, res.Events, res.KCPS)
+		fmt.Printf("  host queue peak %d, WAF %.2f\n", res.HostQueuePeak, res.WAF)
+		fmt.Printf("  AHB util %.2f, CPU util %.2f\n", res.BusUtil, res.CPUUtil)
+		fmt.Printf("  flash: %d user pages, %d GC copies, %d erases, %d reads\n",
+			res.UserPages, res.GCCopies, res.Erases, res.FlashReads)
+	}
+}
+
+func resolveConfig(path, preset string) (ssdx.Config, error) {
+	if path != "" {
+		return ssdx.LoadConfig(path)
+	}
+	return ssdx.Preset(preset)
+}
+
+func parseMode(s string) (ssdx.Mode, error) {
+	switch s {
+	case "ssd", "full":
+		return ssdx.ModeFull, nil
+	case "host-ideal", "ideal":
+		return ssdx.ModeHostIdeal, nil
+	case "host+ddr", "hostddr":
+		return ssdx.ModeHostDDR, nil
+	case "ddr+flash", "drain":
+		return ssdx.ModeDDRFlash, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssdexplorer:", err)
+	os.Exit(1)
+}

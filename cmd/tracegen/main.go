@@ -1,0 +1,43 @@
+// Command tracegen generates host I/O trace files in the canonical text
+// format from IOZone-style synthetic workload specifications, for replay via
+// `ssdexplorer -trace`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ssdx "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		pattern  = flag.String("pattern", "SW", "pattern: SW, SR, RW, RR")
+		block    = flag.Int64("block", 4096, "payload bytes per request")
+		span     = flag.Int64("span", 1<<28, "addressable span, bytes")
+		requests = flag.Int("requests", 10000, "request count")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("o", "workload.trace", "output path")
+	)
+	flag.Parse()
+	p, err := trace.ParsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	w := trace.WorkloadSpec{Pattern: p, BlockSize: *block, SpanBytes: *span, Requests: *requests, Seed: *seed}
+	reqs, err := w.Generate()
+	if err != nil {
+		fatal(err)
+	}
+	if err := ssdx.WriteTraceFile(*out, reqs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d requests (%d MB) to %s\n", len(reqs), w.TotalBytes()>>20, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

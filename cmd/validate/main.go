@@ -1,0 +1,24 @@
+// Command validate reproduces the paper's Fig. 2: throughput of the
+// simulated OCZ-Vertex-class platform against the documented real-device
+// reference values, for sequential/random read/write at 4 KB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ssdx "repro"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "workload scale in (0,1]; 1 = published size")
+	flag.Parse()
+	rows, err := ssdx.Fig2Validation(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("# Fig. 2 — validation against the OCZ Vertex 120GB reference points")
+	ssdx.WriteFig2Table(os.Stdout, rows)
+}

@@ -1,0 +1,50 @@
+// Real firmware execution (the paper's Table I "Real firmware exec"
+// feature): assemble an actual FTL lookup routine for the ARMv4-subset
+// interpreter, run it on the simulated ARM7-class core, and compare the
+// measured cycle costs with the parametric firmware model the validated
+// platform uses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cpu"
+)
+
+func main() {
+	// A real page-mapped FTL lookup routine executing on the core.
+	f, err := cpu.NewFirmwareFTL(4096 /*logical pages*/, 4 /*units*/, 65536)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("firmware FTL on the ARMv4-subset core:")
+	var writeCycles, readCycles int64
+	for lpn := int64(0); lpn < 8; lpn++ {
+		ppn, cyc, err := f.Resolve(lpn, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeCycles += cyc
+		fmt.Printf("  write lpn %2d -> ppn %6d  (%3d cycles)\n", lpn, ppn, cyc)
+	}
+	for lpn := int64(0); lpn < 8; lpn++ {
+		_, cyc, err := f.Resolve(lpn, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		readCycles += cyc
+	}
+	m := f.Machine()
+	fmt.Printf("\navg write path: %d cycles; avg read path: %d cycles\n",
+		writeCycles/8, readCycles/8)
+	fmt.Printf("total: %d instructions, %d cycles executed\n", m.Steps, m.Cycles)
+
+	// The parametric model the platform uses for full-speed simulation.
+	costs := cpu.DefaultFirmwareCosts()
+	fmt.Printf("\nparametric model: sequential cmd %d cycles, random cmd %d cycles\n",
+		costs.CommandCycles(false, 1), costs.CommandCycles(true, 1))
+	fmt.Println("\nthe firmware path executes real instructions (plug & play FTL")
+	fmt.Println("refinement); the parametric path trades that fidelity for speed.")
+}

@@ -1,0 +1,321 @@
+package ssdx
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// This file implements the paper's evaluation harness: one function per
+// table/figure, each regenerating the rows/series the paper reports. The
+// CLI tools under cmd/ and the root bench_test.go are thin wrappers over
+// these. Scale parameters let benches run reduced instances; the published
+// EXPERIMENTS.md numbers use Scale = 1.
+
+// Fig2References are the real-device throughputs used as the validation
+// baseline. The paper compares against an OCZ Vertex 120 GB under IOZone
+// 4 KB patterns; the drive itself is unavailable, so these references are
+// estimated from the paper's Fig. 2 bar heights and period reviews of the
+// Vertex/Barefoot platform (see EXPERIMENTS.md).
+var Fig2References = map[trace.Pattern]float64{
+	trace.SeqWrite:  165,
+	trace.SeqRead:   240,
+	trace.RandWrite: 32,
+	trace.RandRead:  140,
+}
+
+// Fig2Row is one bar pair of the validation figure.
+type Fig2Row struct {
+	Pattern trace.Pattern
+	RefMBps float64
+	SimMBps float64
+	ErrPct  float64
+}
+
+// Fig2Validation reproduces the Fig. 2 comparison: the four IOZone patterns
+// on the Vertex-class platform. scale (0,1] shrinks the request count for
+// quick runs.
+func Fig2Validation(scale float64) ([]Fig2Row, error) {
+	reqs := scaled(20000, scale)
+	var rows []Fig2Row
+	for _, pat := range []trace.Pattern{trace.SeqWrite, trace.SeqRead, trace.RandWrite, trace.RandRead} {
+		w := trace.WorkloadSpec{
+			Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 28, Requests: reqs, Seed: 7,
+		}
+		res, err := core.RunWorkload(config.Vertex(), w, core.ModeFull)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %v: %w", pat, err)
+		}
+		ref := Fig2References[pat]
+		rows = append(rows, Fig2Row{
+			Pattern: pat,
+			RefMBps: ref,
+			SimMBps: res.MBps,
+			ErrPct:  100 * (res.MBps - ref) / ref,
+		})
+	}
+	return rows, nil
+}
+
+// DSERow is one configuration's five breakdown columns in Fig. 3 / Fig. 4.
+type DSERow struct {
+	Name       string
+	Topology   string
+	DDRFlash   float64 // DDR+FLASH drain rate
+	SSDCache   float64 // full SSD, caching policy
+	SSDNoCache float64 // full SSD, no-cache policy
+	HostIdeal  float64 // SATA/PCIE ideal
+	HostDDR    float64 // SATA/PCIE + DDR
+}
+
+// DesignSpaceExploration reproduces Fig. 3 (host = "sata2") or Fig. 4
+// (host = "pcie-g2x8"): sequential 4 KB writes over the Table II design
+// points, measured in all five breakdown columns.
+func DesignSpaceExploration(host string, scale float64) ([]DSERow, error) {
+	var rows []DSERow
+	for _, cfg := range config.TableII() {
+		cfg.HostIF = host
+		row, err := dseRow(cfg, scale)
+		if err != nil {
+			return nil, fmt.Errorf("dse %s: %w", cfg.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// dseRow measures the five columns for one configuration.
+func dseRow(cfg config.Platform, scale float64) (DSERow, error) {
+	row := DSERow{Name: cfg.Name, Topology: cfg.Describe()}
+	w := trace.WorkloadSpec{
+		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 30, Seed: 7,
+	}
+	// Short columns: wire-bound measurements converge fast.
+	w.Requests = scaled(4000, scale)
+	ideal, err := core.RunWorkload(cfg, w, core.ModeHostIdeal)
+	if err != nil {
+		return row, err
+	}
+	row.HostIdeal = ideal.MBps
+	hd, err := core.RunWorkload(cfg, w, core.ModeHostDDR)
+	if err != nil {
+		return row, err
+	}
+	row.HostDDR = hd.MBps
+	// Flash-bound columns need steady state past the write-cache fill.
+	w.Requests = scaled(16000, scale)
+	drain, err := core.RunWorkload(cfg, w, core.ModeDDRFlash)
+	if err != nil {
+		return row, err
+	}
+	row.DDRFlash = drain.MBps
+	cache, err := core.RunWorkload(cfg, w, core.ModeFull)
+	if err != nil {
+		return row, err
+	}
+	row.SSDCache = cache.MBps
+	ncfg := cfg
+	ncfg.CachePolicy = "nocache"
+	// No-cache runs are latency-bound (queue-depth wall): fewer requests
+	// suffice on SATA; NVMe unveils parallelism and drains fast anyway.
+	nw := w
+	nw.Requests = scaled(6000, scale)
+	nc, err := core.RunWorkload(ncfg, nw, core.ModeFull)
+	if err != nil {
+		return row, err
+	}
+	row.SSDNoCache = nc.MBps
+	return row, nil
+}
+
+// WearRow is one endurance sample of the Fig. 5 experiment.
+type WearRow struct {
+	Wear          float64
+	FixedRead     float64
+	FixedWrite    float64
+	AdaptiveRead  float64
+	AdaptiveWrite float64
+}
+
+// WearoutSweep reproduces Fig. 5: sequential read and write throughput over
+// normalised rated endurance for a fixed 40-bit BCH vs an adaptive BCH, on
+// the paper's 4-channel / 2-way / 4-die platform with a shared bit-serial
+// ECC engine.
+func WearoutSweep(points int, scale float64) ([]WearRow, error) {
+	if points < 2 {
+		points = 2
+	}
+	reqs := scaled(6000, scale)
+	run := func(scheme string, wear float64, pat trace.Pattern) (float64, error) {
+		cfg := config.Default() // 4-CHN; 2-WAY; 4-DIE
+		cfg.ECCScheme = scheme
+		cfg.ECCT = 40
+		cfg.ECCEngines = 1
+		cfg.ECCLatency = "bit-serial"
+		cfg.Wear = wear
+		w := trace.WorkloadSpec{Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 27, Requests: reqs, Seed: 7}
+		res, err := core.RunWorkload(cfg, w, core.ModeFull)
+		if err != nil {
+			return 0, err
+		}
+		return res.MBps, nil
+	}
+	var rows []WearRow
+	for i := 0; i < points; i++ {
+		wear := float64(i) / float64(points-1)
+		row := WearRow{Wear: wear}
+		var err error
+		if row.FixedRead, err = run("fixed", wear, trace.SeqRead); err != nil {
+			return nil, err
+		}
+		if row.FixedWrite, err = run("fixed", wear, trace.SeqWrite); err != nil {
+			return nil, err
+		}
+		if row.AdaptiveRead, err = run("adaptive", wear, trace.SeqRead); err != nil {
+			return nil, err
+		}
+		if row.AdaptiveWrite, err = run("adaptive", wear, trace.SeqWrite); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SpeedRow is one bar of the Fig. 6 simulation-speed experiment.
+type SpeedRow struct {
+	Name     string
+	Topology string
+	Dies     int
+	KCPS     float64
+	Events   uint64
+	WallSec  float64
+}
+
+// PaperKCPS are the paper's measured kilo-cycles-per-second values for
+// Table III C1-C8 (Fig. 6), for side-by-side reporting. Absolute values are
+// host- and kernel-dependent; the reproduction target is the inverse scaling
+// with instantiated resources.
+var PaperKCPS = []float64{144.1, 108.4, 79.5, 39.7, 34.8, 25.4, 15.8, 0.3}
+
+// SimulationSpeed reproduces Fig. 6: a fixed sequential-write workload over
+// the Table III configurations, reporting simulated CPU kilo-cycles per
+// wall-clock second.
+func SimulationSpeed(scale float64) ([]SpeedRow, error) {
+	reqs := scaled(3000, scale)
+	var rows []SpeedRow
+	for _, cfg := range config.TableIII() {
+		w := trace.WorkloadSpec{
+			Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 28, Requests: reqs, Seed: 7,
+		}
+		res, err := core.RunWorkload(cfg, w, core.ModeFull)
+		if err != nil {
+			return nil, fmt.Errorf("simspeed %s: %w", cfg.Name, err)
+		}
+		rows = append(rows, SpeedRow{
+			Name:     cfg.Name,
+			Topology: cfg.Describe(),
+			Dies:     cfg.TotalDies(),
+			KCPS:     res.KCPS,
+			Events:   res.Events,
+			WallSec:  res.WallSeconds,
+		})
+	}
+	return rows, nil
+}
+
+// scaled shrinks a request count by scale, keeping a sane floor.
+func scaled(n int, scale float64) int {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	v := int(float64(n) * scale)
+	if v < 200 {
+		v = 200
+	}
+	return v
+}
+
+// --- report rendering ------------------------------------------------------
+
+// WriteFig2Table renders the validation comparison.
+func WriteFig2Table(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintf(w, "%-4s %12s %12s %8s\n", "pat", "ref MB/s", "sim MB/s", "err %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %12.1f %12.1f %+8.1f\n", r.Pattern, r.RefMBps, r.SimMBps, r.ErrPct)
+	}
+}
+
+// WriteDSETable renders a Fig. 3 / Fig. 4 table.
+func WriteDSETable(w io.Writer, host string, rows []DSERow) {
+	fmt.Fprintf(w, "# sequential write 4KB, host=%s (MB/s)\n", host)
+	fmt.Fprintf(w, "%-5s %-30s %10s %10s %12s %11s %10s\n",
+		"cfg", "topology", "DDR+FLASH", "SSD cache", "SSD no-cache", "HOST ideal", "HOST+DDR")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %-30s %10.1f %10.1f %12.1f %11.1f %10.1f\n",
+			r.Name, r.Topology, r.DDRFlash, r.SSDCache, r.SSDNoCache, r.HostIdeal, r.HostDDR)
+	}
+}
+
+// WriteWearTable renders the Fig. 5 series.
+func WriteWearTable(w io.Writer, rows []WearRow) {
+	fmt.Fprintf(w, "%-6s %12s %12s %14s %14s\n",
+		"wear", "fixed R", "fixed W", "adaptive R", "adaptive W")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6.2f %12.1f %12.1f %14.1f %14.1f\n",
+			r.Wear, r.FixedRead, r.FixedWrite, r.AdaptiveRead, r.AdaptiveWrite)
+	}
+}
+
+// WriteSpeedTable renders the Fig. 6 bars next to the paper's values.
+func WriteSpeedTable(w io.Writer, rows []SpeedRow) {
+	fmt.Fprintf(w, "%-5s %-32s %8s %12s %12s %10s\n",
+		"cfg", "topology", "dies", "KCPS (sim)", "KCPS(paper)", "events")
+	for i, r := range rows {
+		paper := "-"
+		if i < len(PaperKCPS) {
+			paper = fmt.Sprintf("%.1f", PaperKCPS[i])
+		}
+		fmt.Fprintf(w, "%-5s %-32s %8d %12.0f %12s %10d\n",
+			r.Name, r.Topology, r.Dies, r.KCPS, paper, r.Events)
+	}
+}
+
+// FeatureMatrix reproduces the paper's Table I — the qualitative comparison
+// of reconfigurable parameters across framework classes. Rendered by the
+// README and `cmd/ssdexplorer -features`.
+func FeatureMatrix() string {
+	rows := [][5]string{
+		{"Actual FTL (WL, GC, TRIM)", "yes", "yes", "yes", "yes"},
+		{"WAF FTL", "yes", "no", "no", "no"},
+		{"Host IF performance", "yes", "yes", "no", "yes"},
+		{"Real workload", "no", "yes", "no", "yes"},
+		{"Different Host IF", "yes", "no", "yes", "no"},
+		{"DDR timings", "yes", "no", "no", "no"},
+		{"Multi DDR buffer", "yes", "no", "no", "no"},
+		{"Way: Shared bus", "yes", "yes", "yes", "yes"},
+		{"Way: Shared control", "yes", "no", "yes", "no"},
+		{"NAND architecture", "yes", "yes", "yes", "no"},
+		{"NAND timings", "yes", "yes", "yes", "yes"},
+		{"NAND latency aware", "yes", "no", "no", "yes"},
+		{"ECC timings", "yes", "no", "no", "yes"},
+		{"Compression", "yes", "no", "no", "no"},
+		{"Interconnect model", "yes", "no", "no", "yes"},
+		{"Core model", "yes", "no", "no", "yes"},
+		{"Real firmware exec", "yes", "no", "no", "yes"},
+		{"Multi Core", "yes", "no", "no", "no"},
+		{"Model refinement", "yes", "no", "no", "no"},
+		{"Simulation Speed", "variable", "high", "high", "fixed"},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-12s %-10s %-12s %-10s\n",
+		"Reconfigurable parameter", "SSDExplorer", "Emulation", "Trace-driven", "Hardware")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %-12s %-10s %-12s %-10s\n", r[0], r[1], r[2], r[3], r[4])
+	}
+	return b.String()
+}

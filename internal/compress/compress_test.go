@@ -1,0 +1,146 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPlacementParse(t *testing.T) {
+	for _, p := range []Placement{None, HostInterface, ChannelWay} {
+		got, err := ParsePlacement(p.String())
+		if p == None {
+			got, err = ParsePlacement("none")
+		}
+		if err != nil || got != p {
+			t.Fatalf("placement %v round trip: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParsePlacement("middle"); err == nil {
+		t.Fatal("bad placement accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{Placement: None}).Validate(); err != nil {
+		t.Fatalf("disabled config must validate: %v", err)
+	}
+	if err := (Config{Placement: HostInterface, Ratio: 0, MBps: 100}).Validate(); err == nil {
+		t.Fatal("zero ratio accepted")
+	}
+	if err := (Config{Placement: HostInterface, Ratio: 1.5, MBps: 100}).Validate(); err == nil {
+		t.Fatal("expanding ratio accepted")
+	}
+	if err := (Config{Placement: HostInterface, Ratio: 0.5, MBps: 0}).Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestOutputBytes(t *testing.T) {
+	k := sim.NewKernel()
+	e, err := NewEngine(k, DefaultGZIP(ChannelWay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.OutputBytes(4096); got != 2048 {
+		t.Fatalf("2:1 of 4096 = %d", got)
+	}
+	// Rounds up to sectors.
+	if got := e.OutputBytes(4000); got != 2048 {
+		t.Fatalf("rounding: %d", got)
+	}
+	// Never expands.
+	if got := e.OutputBytes(100); got > 100 {
+		t.Fatalf("expansion: %d", got)
+	}
+	// Pass-through when disabled.
+	d, _ := NewEngine(k, Config{Placement: None})
+	if d.OutputBytes(4096) != 4096 {
+		t.Fatalf("disabled engine compressed")
+	}
+}
+
+func TestProcessLatencyAndSerialization(t *testing.T) {
+	k := sim.NewKernel()
+	e, _ := NewEngine(k, Config{Placement: HostInterface, Ratio: 0.5, MBps: 400})
+	var ends []sim.Time
+	var outs []int64
+	for i := 0; i < 2; i++ {
+		e.Process(k, 4096, func(out int64) {
+			ends = append(ends, k.Now())
+			outs = append(outs, out)
+		})
+	}
+	k.RunAll()
+	// 4096 B at 400 MB/s = 10.24 us per request, serialized.
+	want1 := sim.FromNanoseconds(4096.0 / 400e6 * 1e9)
+	if ends[0] != want1 || ends[1] != 2*want1 {
+		t.Fatalf("latencies %v, want %v and %v", ends, want1, 2*want1)
+	}
+	if outs[0] != 2048 || outs[1] != 2048 {
+		t.Fatalf("outputs %v", outs)
+	}
+	if e.MeasuredRatio() != 0.5 {
+		t.Fatalf("measured ratio %v", e.MeasuredRatio())
+	}
+}
+
+func TestProcessDisabledImmediate(t *testing.T) {
+	k := sim.NewKernel()
+	e, _ := NewEngine(k, Config{Placement: None})
+	fired := false
+	e.Process(k, 4096, func(out int64) {
+		fired = true
+		if out != 4096 {
+			t.Errorf("disabled output %d", out)
+		}
+	})
+	k.RunAll()
+	if !fired {
+		t.Fatal("callback not fired")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("disabled engine consumed time: %v", k.Now())
+	}
+}
+
+func TestProcessZeroBytes(t *testing.T) {
+	k := sim.NewKernel()
+	e, _ := NewEngine(k, DefaultGZIP(HostInterface))
+	fired := false
+	e.Process(k, 0, func(out int64) { fired = out == 0 })
+	k.RunAll()
+	if !fired {
+		t.Fatal("zero-byte process mishandled")
+	}
+}
+
+func TestEstimateRatio(t *testing.T) {
+	// Constant data compresses hard.
+	flat := make([]byte, 4096)
+	if r := EstimateRatio(flat); r > 0.1 {
+		t.Fatalf("flat data ratio %v", r)
+	}
+	// Uniform random data doesn't compress.
+	rng := sim.NewRNG(1)
+	rnd := make([]byte, 4096)
+	for i := range rnd {
+		rnd[i] = byte(rng.Uint64())
+	}
+	if r := EstimateRatio(rnd); r < 0.9 {
+		t.Fatalf("random data ratio %v", r)
+	}
+	// Text-like data lands in between.
+	text := []byte("the quick brown fox jumps over the lazy dog ")
+	var doc []byte
+	for i := 0; i < 50; i++ {
+		doc = append(doc, text...)
+	}
+	r := EstimateRatio(doc)
+	if r <= 0.1 || r >= 0.9 {
+		t.Fatalf("text ratio %v", r)
+	}
+	if EstimateRatio(nil) != 1 {
+		t.Fatal("empty buffer")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestDrainReadMode: the DDR+FLASH column also works in the read direction
+// (flash fill rate), used by read-path ablations.
+func TestDrainReadMode(t *testing.T) {
+	cfg := config.Default()
+	w := trace.WorkloadSpec{Pattern: trace.SeqRead, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 4000, Seed: 7}
+	res, err := RunWorkload(cfg, w, ModeDDRFlash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBps <= 0 || res.Completed == 0 {
+		t.Fatalf("read drain %+v", res)
+	}
+	// Read drain must beat write drain (tREAD << tPROG).
+	wr, err := RunWorkload(cfg, trace.WorkloadSpec{
+		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 4000, Seed: 7,
+	}, ModeDDRFlash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBps <= wr.MBps {
+		t.Fatalf("read drain %.1f not above write drain %.1f", res.MBps, wr.MBps)
+	}
+}
+
+// TestQueueDepthOverride: shrinking the host window caps throughput.
+func TestQueueDepthOverride(t *testing.T) {
+	deep := config.Default()
+	deep.CachePolicy = "nocache"
+	shallow := deep
+	shallow.QueueDepth = 1
+	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 600, Seed: 7}
+	d, err := RunWorkload(deep, w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RunWorkload(shallow, w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MBps*4 > d.MBps {
+		t.Fatalf("QD=1 %.1f vs QD=32 %.1f: window had no effect", s.MBps, d.MBps)
+	}
+	if s.HostQueuePeak != 1 {
+		t.Fatalf("QD=1 peak %d", s.HostQueuePeak)
+	}
+}
+
+// TestMultiLayerAHBRaisesPCIeCeiling: the multi-layer interconnect option
+// lifts the Fig. 4 wall.
+func TestMultiLayerAHBRaisesPCIeCeiling(t *testing.T) {
+	base, _ := config.Preset("t2:C10")
+	base.HostIF = "pcie-g2x8"
+	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 30, Requests: 12000, Seed: 7}
+	one, err := RunWorkload(base, w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.AHBLayers = 4
+	four, err := RunWorkload(multi, w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.MBps < one.MBps*1.3 {
+		t.Fatalf("multi-layer AHB gain too small: %.1f -> %.1f", one.MBps, four.MBps)
+	}
+}
+
+// TestHostCompressionPlacement: host-side compression shrinks DRAM/AHB and
+// NAND traffic together, lifting flash-bound writes like channel placement.
+func TestHostCompressionPlacement(t *testing.T) {
+	base, _ := config.Preset("t2:C1")
+	plain, err := RunWorkload(base, trace.WorkloadSpec{
+		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 27, Requests: 8000, Seed: 7,
+	}, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := base
+	comp.CompressPlacement = "host"
+	comp.CompressRatio = 0.5
+	boosted, err := RunWorkload(comp, trace.WorkloadSpec{
+		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 27, Requests: 8000, Seed: 7,
+	}, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.MBps < plain.MBps*1.5 {
+		t.Fatalf("host compression gain: %.1f -> %.1f", plain.MBps, boosted.MBps)
+	}
+}
+
+// TestLatencyReporting: full runs report host-perceived latency, and the
+// no-cache policy shows much higher write latency than caching.
+func TestLatencyReporting(t *testing.T) {
+	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 2000, Seed: 7}
+	cached, err := RunWorkload(config.Vertex(), w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := config.Vertex()
+	nc.CachePolicy = "nocache"
+	nc.MultiPlane = false
+	uncached, err := RunWorkload(nc, trace.WorkloadSpec{
+		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 800, Seed: 7,
+	}, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.MeanLatUS <= 0 || uncached.MeanLatUS <= 0 {
+		t.Fatalf("latencies missing: %v %v", cached.MeanLatUS, uncached.MeanLatUS)
+	}
+	// No-cache write latency includes tPROG (~1-2.4ms); cached must be far
+	// below it in steady state... cached latency includes cache-full
+	// queueing, so compare against the program time scale instead.
+	if uncached.MeanLatUS < 900 {
+		t.Fatalf("no-cache mean latency %v us below tPROG", uncached.MeanLatUS)
+	}
+}
+
+// TestDeterminism: identical config+workload+seed give identical results.
+func TestDeterminism(t *testing.T) {
+	w := trace.WorkloadSpec{Pattern: trace.RandWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 3000, Seed: 11}
+	a, err := RunWorkload(config.Vertex(), w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(config.Vertex(), w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimTime != b.SimTime || a.MBps != b.MBps || a.FlashWrites != b.FlashWrites {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", a.SimTime, a.MBps, b.SimTime, b.MBps)
+	}
+}

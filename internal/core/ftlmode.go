@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/trace"
+)
+
+// This file implements the platform's "actual FTL" execution mode (paper
+// §III-F: "SSDExplorer enables both an actual FTL implementation and its
+// abstraction through a WAF model"). With `ftl_mode = mapper`, every host
+// write runs the real page-mapped FTL (internal/ftl.Mapper: greedy GC,
+// static+dynamic wear leveling, TRIM) and the physical operations it emits —
+// GC copies, erases, the user program — execute on the simulated channels,
+// buses and ECC engines in allocation order. Reads resolve through the real
+// L2P map. Write amplification is then *measured*, not modelled.
+
+// mapperFTL glues the synchronous FTL decision engine to the event-driven
+// platform.
+type mapperFTL struct {
+	m       *ftl.Mapper
+	g       ftl.Geometry
+	planes  int
+	logical int64
+}
+
+// buildMapperFTL sizes the real FTL to the platform: one allocation unit per
+// plane, logical space set by the configured spare factor.
+func (p *Platform) buildMapperFTL() error {
+	units := p.totalDies * p.geo.PlanesPerDie
+	blocks := p.geo.BlocksPerPlane
+	if p.Cfg.MapperBlocksPerUnit > 0 && p.Cfg.MapperBlocksPerUnit < blocks {
+		blocks = p.Cfg.MapperBlocksPerUnit
+	}
+	g := ftl.Geometry{
+		Units:         units,
+		BlocksPerUnit: blocks,
+		PagesPerBlock: p.geo.PagesPerBlock,
+	}
+	logical := int64(float64(g.TotalPages()) * (1 - p.Cfg.SpareFactor))
+	m, err := ftl.NewMapper(g, logical)
+	if err != nil {
+		return fmt.Errorf("core: mapper FTL: %w", err)
+	}
+	p.mapper = &mapperFTL{m: m, g: g, planes: p.geo.PlanesPerDie, logical: logical}
+	return nil
+}
+
+// place converts a mapper PPN into platform coordinates. Units are laid out
+// die-major (unit u -> die u mod dies, plane u div dies) so the mapper's
+// round-robin allocation stripes consecutive writes across every die before
+// revisiting one.
+func (f *mapperFTL) place(pp ftl.PPN) (gdie int, a nand.Addr) {
+	unit, block, page := f.g.Decompose(pp)
+	dies := f.g.Units / f.planes
+	gdie = unit % dies
+	a = nand.Addr{Plane: unit / dies, Block: block, Page: page}
+	return gdie, a
+}
+
+// lpnOf maps a request LBA to a logical page, wrapping at the exposed space.
+func (f *mapperFTL) lpnOf(lba int64, pageBytes int) int64 {
+	lpn := lba * trace.SectorSize / int64(pageBytes)
+	return lpn % f.logical
+}
+
+// mapperWrite runs the real FTL for one user page and executes the emitted
+// physical operations in order. done fires when the user program completes.
+func (p *Platform) mapperWrite(lba int64, pageOffset int, done func()) {
+	f := p.mapper
+	lpn := f.lpnOf(lba, p.pageBytes) + int64(pageOffset)
+	if lpn >= f.logical {
+		lpn -= f.logical
+	}
+	ops, err := f.m.Write(lpn)
+	if err != nil {
+		panic(fmt.Sprintf("core: mapper write failed: %v", err))
+	}
+	p.stats.userPages++
+	for _, op := range ops {
+		switch op.Kind {
+		case ftl.OpErase:
+			gdie, a := f.place(op.Target)
+			ch, die := p.chanDie(gdie)
+			p.stats.eraseOps++
+			if err := p.Channels[ch].Erase(die, a.Plane, a.Block, nil); err != nil {
+				panic(err)
+			}
+		case ftl.OpCopy:
+			p.mapperCopy(op)
+		case ftl.OpProgram:
+			gdie, a := f.place(op.Target)
+			p.mapperProgram(gdie, a, done)
+		}
+	}
+}
+
+// mapperProgram issues one page program through ECC in allocation order.
+func (p *Platform) mapperProgram(gdie int, a nand.Addr, done func()) {
+	ch, die := p.chanDie(gdie)
+	p.stats.flashWrites++
+	prep := func(ready func()) { p.eccEncode(1, ready) }
+	err := p.Channels[ch].WriteMultiPrep(die, []nand.Addr{a}, p.pageBytes, prep, func() {
+		p.lastWritten[gdie] = a
+		p.hasWritten[gdie] = true
+		if done != nil {
+			done()
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: mapper program failed: %v", err))
+	}
+}
+
+// mapperCopy executes a GC relocation: the program is enqueued immediately
+// (preserving allocation order on the die); its prep stage models the read
+// of the source page plus decode and re-encode, so the data dependency costs
+// real time without reordering programs.
+func (p *Platform) mapperCopy(op ftl.Op) {
+	f := p.mapper
+	srcDie, srcAddr := f.place(op.Source)
+	dstDie, dstAddr := f.place(op.Target)
+	srcCh, srcD := p.chanDie(srcDie)
+	dstCh, dstD := p.chanDie(dstDie)
+	p.stats.gcCopies++
+	p.stats.flashReads++
+	p.stats.flashWrites++
+	prep := func(ready func()) {
+		if err := p.Channels[srcCh].Read(srcD, srcAddr, p.pageBytes, func() {
+			p.eccDecode(1, func() {
+				p.eccEncode(1, ready)
+			})
+		}); err != nil {
+			panic(fmt.Sprintf("core: gc source read failed: %v", err))
+		}
+	}
+	err := p.Channels[dstCh].WriteMultiPrep(dstD, []nand.Addr{dstAddr}, p.pageBytes, prep, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: gc program failed: %v", err))
+	}
+}
+
+// mapperRead resolves a logical page through the real map; ok=false means
+// the page was never written (the caller falls back to the preloaded
+// region so pure-read benchmarks still work).
+func (p *Platform) mapperRead(lba int64, pageOffset int) (gdie int, a nand.Addr, ok bool) {
+	f := p.mapper
+	lpn := f.lpnOf(lba, p.pageBytes) + int64(pageOffset)
+	if lpn >= f.logical {
+		lpn -= f.logical
+	}
+	pp, ok := f.m.Read(lpn)
+	if !ok {
+		return 0, nand.Addr{}, false
+	}
+	gdie, a = f.place(pp)
+	return gdie, a, true
+}
+
+// mapperTrim unmaps the pages of a trim command.
+func (p *Platform) mapperTrim(req trace.Request) {
+	f := p.mapper
+	pages := p.pagesOf(req.Bytes)
+	base := f.lpnOf(req.LBA, p.pageBytes)
+	for i := 0; i < pages; i++ {
+		lpn := base + int64(i)
+		if lpn >= f.logical {
+			lpn -= f.logical
+		}
+		_ = f.m.Trim(lpn)
+	}
+}

@@ -1,0 +1,497 @@
+// Package core assembles the complete SSDExplorer virtual platform — the
+// paper's primary contribution. It wires the RTL-equivalent control path
+// (CPU complex, AMBA AHB interconnect, channel/way controllers), the
+// cycle-accurate data-path components (host interface, DDR2 buffers, NAND
+// array) and the parametric time-delay blocks (ECC, compressor, WAF-FTL)
+// into one discrete-event simulation, and provides the measurement modes
+// behind the paper's performance-breakdown columns (host ideal, host+DDR,
+// DDR+flash, full SSD with cache/no-cache buffer policies).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/amba"
+	"repro/internal/compress"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/ctrl"
+	"repro/internal/dram"
+	"repro/internal/ecc"
+	"repro/internal/ftl"
+	"repro/internal/hostif"
+	"repro/internal/nand"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mode selects what part of the platform a run exercises — the paper's
+// breakdown columns in Figs. 3 and 4.
+type Mode int
+
+// Measurement modes.
+const (
+	// ModeFull simulates the complete SSD (the "SSD cache"/"SSD no cache"
+	// columns, depending on the configured buffer policy).
+	ModeFull Mode = iota
+	// ModeHostIdeal sinks commands at the host interface ("SATA ideal" /
+	// "PCIE ideal").
+	ModeHostIdeal
+	// ModeHostDDR completes commands once data lands in the DRAM buffers
+	// ("SATA+DDR" / "PCIE+DDR").
+	ModeHostDDR
+	// ModeDDRFlash bypasses the host and drains pre-buffered data to the
+	// NAND array ("DDR+FLASH").
+	ModeDDRFlash
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "ssd"
+	case ModeHostIdeal:
+		return "host-ideal"
+	case ModeHostDDR:
+		return "host+ddr"
+	case ModeDDRFlash:
+		return "ddr+flash"
+	}
+	return "?"
+}
+
+// Platform is one fully-assembled simulated SSD. A platform is single-use:
+// build, run one workload, read the result.
+type Platform struct {
+	Cfg config.Platform
+	K   *sim.Kernel
+
+	Bus      *amba.Bus
+	DRAM     *dram.Pool
+	Channels []*ctrl.Channel
+	Host     *hostif.Interface
+	CPU      *cpu.Complex
+	Comp     *compress.Engine
+
+	eccEngines []*sim.Server
+	eccNext    int
+	scheme     ecc.Scheme
+
+	wafModel *ftl.Model
+	mapper   *mapperFTL       // non-nil in ftl_mode = mapper
+	firmware *cpu.FirmwareFTL // non-nil in cpu_model = firmware
+	alloc    *ctrl.PageAllocator
+
+	// writeCache bounds dirty (buffered, not yet programmed) pages: the
+	// finite DRAM write cache whose backpressure makes the "SSD cache"
+	// columns converge to the sustained flash drain rate.
+	writeCache *sim.TokenGate
+
+	hostDMA *amba.Master
+
+	geo        nand.Geometry
+	tim        nand.Timing
+	pageBytes  int
+	totalDies  int
+	planeBatch int
+
+	// Write-path state.
+	compDebt    int64 // channel-compressor fractional-page accumulator
+	stripe      int64
+	pending     [][]func() // per-die accumulating multi-plane batch dones
+	lastWritten []nand.Addr
+	hasWritten  []bool
+	expectedLBA int64
+
+	// Bookkeeping.
+	flashWritesInFlight int
+	rng                 *sim.RNG
+
+	stats runStats
+}
+
+type runStats struct {
+	userPages   uint64
+	gcCopies    uint64
+	eraseOps    uint64
+	randomCmds  uint64
+	seqCmds     uint64
+	flashReads  uint64
+	flashWrites uint64
+}
+
+// Build assembles a platform from a validated configuration.
+func Build(cfg config.Platform) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{Cfg: cfg, K: sim.NewKernel(), rng: sim.NewRNG(cfg.Seed)}
+
+	// NAND geometry and timing.
+	p.geo = nand.DefaultGeometry()
+	switch cfg.NANDProfile {
+	case "vertex":
+		p.tim = nand.ProfileVertex()
+	default:
+		p.tim = nand.ProfileExplore()
+	}
+	p.pageBytes = p.geo.PageBytes
+	p.totalDies = cfg.TotalDies()
+	p.planeBatch = 1
+	if cfg.MultiPlane && cfg.CachePolicy == "cache" {
+		p.planeBatch = p.geo.PlanesPerDie
+	}
+
+	// Interconnect: the validated platform uses one shared AHB layer; the
+	// master count scales with channel count (one PP-DMA port each, plus
+	// the host DMA), which large Table II instances require.
+	busCfg := amba.DefaultConfig()
+	busCfg.Layers = cfg.AHBLayers
+	if need := cfg.Channels + 2; need > busCfg.MaxMasters {
+		busCfg.MaxMasters = need
+	}
+	bus, err := amba.NewBus(p.K, busCfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Bus = bus
+	p.hostDMA, err = bus.AttachMaster("host-dma")
+	if err != nil {
+		return nil, err
+	}
+
+	// DRAM buffer pool.
+	p.DRAM, err = dram.NewPool(p.K, cfg.DDRBuffers, dram.DDR2_800x16(64<<20))
+	if err != nil {
+		return nil, err
+	}
+
+	// Channel/way controllers and the NAND array.
+	gang, err := ctrl.ParseGangMode(cfg.GangMode)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < cfg.Channels; c++ {
+		m, err := bus.AttachMaster(fmt.Sprintf("ppdma%d", c))
+		if err != nil {
+			return nil, err
+		}
+		ch, err := ctrl.New(p.K, c, ctrl.Config{
+			Ways:       cfg.Ways,
+			DiesPerWay: cfg.DiesPerWay,
+			Gang:       gang,
+		}, p.geo, p.tim, m, p.DRAM.ForChannel(c), p.rng.Fork(uint64(c+101)))
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Wear > 0 {
+			ch.SetWear(cfg.Wear)
+		}
+		p.Channels = append(p.Channels, ch)
+	}
+
+	// Host interface.
+	hcfg, err := hostif.Parse(cfg.HostIF)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth > 0 {
+		hcfg.QueueDepth = cfg.QueueDepth
+	}
+	p.Host, err = hostif.New(p.K, hcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// CPU complex.
+	ccfg := cpu.DefaultConfig()
+	ccfg.Cores = cfg.CPUCores
+	p.CPU, err = cpu.NewComplex(p.K, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CPUModel == "firmware" {
+		// Real firmware execution: the ARMv4-subset FTL lookup routine
+		// runs on the interpreter per command; the platform charges the
+		// actually-executed cycles instead of the parametric model.
+		const fwPages = 1 << 20 // 4 GiB of 4 KiB pages in the SRAM table
+		p.firmware, err = cpu.NewFirmwareFTL(fwPages, p.totalDies, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ECC scheme and engine pool.
+	if cfg.ECCScheme != "none" {
+		var lat ecc.LatencyModel
+		if cfg.ECCLatency == "bit-serial" {
+			lat = ecc.BitSerialLatency()
+		} else {
+			lat = ecc.ByteParallelLatency()
+		}
+		switch cfg.ECCScheme {
+		case "fixed":
+			p.scheme = ecc.FixedBCH{T: cfg.ECCT, Lat: lat}
+		case "adaptive":
+			tbl, err := ecc.BuildCorrectionTable(ecc.TableParams{
+				CodewordBits: 8192 + 14*cfg.ECCT,
+				TMax:         cfg.ECCT,
+				TStep:        4,
+				TargetCFR:    1e-15,
+				Buckets:      64,
+				RBER:         p.tim.RBER,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p.scheme = ecc.AdaptiveBCH{Table: tbl, Lat: lat}
+		}
+		for i := 0; i < cfg.ECCEngines; i++ {
+			p.eccEngines = append(p.eccEngines,
+				sim.NewServer(p.K, nil, fmt.Sprintf("ecc%d", i)))
+		}
+	}
+
+	// Compressor.
+	place, err := compress.ParsePlacement(cfg.CompressPlacement)
+	if err != nil {
+		return nil, err
+	}
+	p.Comp, err = compress.NewEngine(p.K, compress.Config{
+		Placement: place, Ratio: cfg.CompressRatio, MBps: cfg.CompressMBps,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// FTL abstraction: greedy WAF for the configured over-provisioning.
+	waf := cfg.WAFOverride
+	if waf == 0 {
+		waf = 1 // sequential default; Run sets the pattern-specific value
+	}
+	p.wafModel, err = ftl.NewModel(waf, p.geo.PagesPerBlock)
+	if err != nil {
+		return nil, err
+	}
+
+	p.alloc = ctrl.NewPageAllocator(p.totalDies, p.geo)
+	p.pending = make([][]func(), p.totalDies)
+	p.lastWritten = make([]nand.Addr, p.totalDies)
+	p.hasWritten = make([]bool, p.totalDies)
+	p.expectedLBA = -1
+	cachePages := cfg.WriteCachePages
+	if cachePages <= 0 {
+		cachePages = 1024
+	}
+	p.writeCache = sim.NewTokenGate(p.K, cachePages)
+	if cfg.FTLMode == "mapper" {
+		if err := p.buildMapperFTL(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// chanDie splits a global die index into (channel, die-in-channel).
+func (p *Platform) chanDie(gdie int) (int, int) {
+	return gdie % p.Cfg.Channels, gdie / p.Cfg.Channels
+}
+
+// eccEngine returns the next engine in round-robin order.
+func (p *Platform) eccEngine() *sim.Server {
+	e := p.eccEngines[p.eccNext]
+	p.eccNext = (p.eccNext + 1) % len(p.eccEngines)
+	return e
+}
+
+// eccEncode charges ECC encode latency and continues with done.
+func (p *Platform) eccEncode(pages int, done func()) {
+	if p.scheme == nil {
+		p.K.Schedule(0, done)
+		return
+	}
+	lat := p.scheme.EncodeLatency(p.Cfg.Wear) * sim.Time(pages)
+	p.eccEngine().Acquire(lat, func(_, end sim.Time) {
+		p.K.At(end, done)
+	})
+}
+
+// eccDecode charges ECC decode latency and continues with done.
+func (p *Platform) eccDecode(pages int, done func()) {
+	if p.scheme == nil {
+		p.K.Schedule(0, done)
+		return
+	}
+	lat := p.scheme.DecodeLatency(p.Cfg.Wear) * sim.Time(pages)
+	p.eccEngine().Acquire(lat, func(_, end sim.Time) {
+		p.K.At(end, done)
+	})
+}
+
+// readAddr maps a logical page index to a deterministic physical location in
+// the preloaded read region (the top half of each plane's block range, so
+// the write frontier growing from block 0 does not collide with it).
+func (p *Platform) readAddr(pageIdx int64) (gdie int, a nand.Addr) {
+	gdie = int(pageIdx % int64(p.totalDies))
+	w := pageIdx / int64(p.totalDies)
+	a.Plane = int(w % int64(p.geo.PlanesPerDie))
+	w /= int64(p.geo.PlanesPerDie)
+	a.Page = int(w % int64(p.geo.PagesPerBlock))
+	w /= int64(p.geo.PagesPerBlock)
+	half := int64(p.geo.BlocksPerPlane / 2)
+	a.Block = p.geo.BlocksPerPlane - 1 - int(w%half)
+	return gdie, a
+}
+
+// preloadReadRegion marks every page a read workload can touch as
+// programmed (data written before the benchmark started).
+func (p *Platform) preloadReadRegion(spanBytes int64) error {
+	pages := spanBytes / int64(p.pageBytes)
+	if pages*int64(p.pageBytes) < spanBytes {
+		pages++
+	}
+	for i := int64(0); i < pages; i++ {
+		gdie, a := p.readAddr(i)
+		ch, die := p.chanDie(gdie)
+		if err := p.Channels[ch].Die(die).Preload(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flashWrite routes one user page through ECC into the NAND array,
+// accumulating multi-plane batches per die. done fires when the page's
+// program completes.
+func (p *Platform) flashWrite(done func()) {
+	u := p.stripe / int64(p.planeBatch)
+	p.stripe++
+	gdie := int(u % int64(p.totalDies))
+	p.pending[gdie] = append(p.pending[gdie], done)
+	p.stats.userPages++
+	if len(p.pending[gdie]) >= p.planeBatch {
+		p.issueBatch(gdie)
+	}
+	// FTL abstraction: inject greedy-GC traffic for this user write.
+	copies, _ := p.wafModel.OnUserWrite()
+	for i := 0; i < copies; i++ {
+		p.gcCopy()
+	}
+}
+
+// issueWrite allocates physical pages and enqueues the program — both
+// synchronously, so per-die program order always equals allocation order —
+// pushing the ECC encode latency into the controller's prep stage.
+func (p *Platform) issueWrite(gdie int, dones []func()) {
+	ch, die := p.chanDie(gdie)
+	addrs, erases := p.alloc.Batch(gdie, len(dones))
+	for len(addrs) < len(dones) {
+		extra, more := p.alloc.Batch(gdie, len(dones)-len(addrs))
+		addrs = append(addrs, extra...)
+		erases = append(erases, more...)
+	}
+	for _, e := range erases {
+		p.stats.eraseOps++
+		if err := p.Channels[ch].Erase(die, e.Plane, e.Block, nil); err != nil {
+			panic(fmt.Sprintf("core: erase dispatch failed: %v", err))
+		}
+	}
+	p.stats.flashWrites += uint64(len(addrs))
+	// Issue plane-group sub-batches in allocation order.
+	start := 0
+	for start < len(addrs) {
+		end := start + 1
+		for end < len(addrs) &&
+			addrs[end].Block == addrs[start].Block &&
+			addrs[end].Page == addrs[start].Page {
+			end++
+		}
+		batch := addrs[start:end]
+		batchDones := dones[start:end]
+		n := len(batch)
+		prep := func(ready func()) { p.eccEncode(n, ready) }
+		err := p.Channels[ch].WriteMultiPrep(die, batch, p.pageBytes, prep, func() {
+			p.lastWritten[gdie] = batch[n-1]
+			p.hasWritten[gdie] = true
+			for _, d := range batchDones {
+				if d != nil {
+					d()
+				}
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: write dispatch failed: %v", err))
+		}
+		start = end
+	}
+}
+
+// issueBatch sends a die's accumulated pages to the channel controller.
+func (p *Platform) issueBatch(gdie int) {
+	dones := p.pending[gdie]
+	if len(dones) == 0 {
+		return
+	}
+	p.pending[gdie] = nil
+	p.issueWrite(gdie, dones)
+}
+
+// gcCopy models one greedy-GC page relocation: read a programmed page,
+// decode, re-encode (as the program's prep stage), program a fresh page.
+// The traffic rides the same channels, buses and ECC engines as user
+// traffic, which is exactly how the WAF abstraction injects FTL cost
+// without an FTL implementation.
+func (p *Platform) gcCopy() {
+	gdie := int(p.rng.Intn(p.totalDies))
+	if !p.hasWritten[gdie] {
+		return // nothing to relocate yet on this die
+	}
+	src := p.lastWritten[gdie]
+	ch, die := p.chanDie(gdie)
+	p.stats.gcCopies++
+	p.stats.flashReads++
+	if err := p.Channels[ch].Read(die, src, p.pageBytes, func() {
+		p.eccDecode(1, func() {
+			// GC programs join the same per-die multi-plane batches as
+			// user pages (real collectors relocate pages in bulk).
+			p.pending[gdie] = append(p.pending[gdie], nil)
+			if len(p.pending[gdie]) >= p.planeBatch {
+				p.issueBatch(gdie)
+			}
+		})
+	}); err != nil {
+		panic(fmt.Sprintf("core: gc read dispatch failed: %v", err))
+	}
+}
+
+// flushPartialBatches forces out every incomplete multi-plane group (end of
+// stream or drain measurements).
+func (p *Platform) flushPartialBatches() {
+	for gdie := range p.pending {
+		if len(p.pending[gdie]) > 0 {
+			p.issueBatch(gdie)
+		}
+	}
+}
+
+var errStalled = errors.New("core: simulation stalled before completing the workload")
+
+// resolveWAF sets the FTL abstraction's amplification for the workload
+// pattern (sequential traffic ~1, random traffic the greedy steady state).
+func (p *Platform) resolveWAF(pattern trace.Pattern) error {
+	waf := p.Cfg.WAFOverride
+	if waf == 0 {
+		var err error
+		waf, err = ftl.ForPattern(pattern.IsRandom() && pattern.IsWrite(), p.Cfg.SpareFactor)
+		if err != nil {
+			return err
+		}
+	}
+	m, err := ftl.NewModel(waf, p.geo.PagesPerBlock)
+	if err != nil {
+		return err
+	}
+	p.wafModel = m
+	return nil
+}

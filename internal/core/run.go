@@ -1,0 +1,538 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/config"
+	"repro/internal/ftl"
+	"repro/internal/hostif"
+	"repro/internal/nand"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Result is the outcome of one platform run.
+type Result struct {
+	Config   string
+	Topology string
+	Mode     Mode
+	Pattern  trace.Pattern
+
+	Requests   int
+	BlockBytes int64
+	BytesMoved int64
+
+	MBps     float64 // steady-state (tail) throughput
+	RampMBps float64 // whole-run throughput including cache warm-up
+	SimTime  sim.Time
+
+	// Simulation-speed metrics (Fig. 6): simulated CPU kilo-cycles per
+	// wall-clock second, plus raw event throughput.
+	WallSeconds float64
+	KCPS        float64
+	Events      uint64
+
+	// Command latency (host-perceived), microseconds.
+	MeanLatUS float64
+	P99LatUS  float64
+
+	// Microarchitectural observability (the paper's FGDSE purpose).
+	WAF           float64
+	HostQueuePeak int
+	BusUtil       float64
+	CPUUtil       float64
+	UserPages     uint64
+	GCCopies      uint64
+	Erases        uint64
+	FlashWrites   uint64
+	FlashReads    uint64
+	Completed     uint64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-8s %-22s %-9s %s: %8.1f MB/s (sim %v, %d reqs, WAF %.2f)",
+		r.Config, r.Topology, r.Mode, r.Pattern, r.MBps, r.SimTime, r.Requests, r.WAF)
+}
+
+// Run executes the workload on the platform in the given mode and returns
+// the measured result. The platform is single-use.
+func (p *Platform) Run(w trace.WorkloadSpec, mode Mode) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := p.resolveWAF(w.Pattern); err != nil {
+		return Result{}, err
+	}
+	if !w.Pattern.IsWrite() && p.mapper == nil {
+		if err := p.preloadReadRegion(w.SpanBytes); err != nil {
+			return Result{}, err
+		}
+	}
+	wallStart := time.Now()
+	var res Result
+	var err error
+	if mode == ModeDDRFlash {
+		res, err = p.runDrain(w)
+	} else {
+		res, err = p.runHosted(w, mode)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Config = p.Cfg.Name
+	res.Topology = p.Cfg.Describe()
+	res.Mode = mode
+	res.Pattern = w.Pattern
+	res.Requests = w.Requests
+	res.BlockBytes = w.BlockSize
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	if res.WallSeconds > 0 {
+		cycles := float64(p.CPU.Clock().CyclesAt(p.K.Now()))
+		res.KCPS = cycles / 1000 / res.WallSeconds
+	}
+	res.Events = p.K.Executed
+	res.SimTime = p.K.Now()
+	res.WAF = p.wafModel.WAF
+	if p.mapper != nil && p.mapper.m.Stats.UserWrites > 0 {
+		res.WAF = p.mapper.m.MeasuredWAF()
+	}
+	res.BusUtil = p.Bus.Utilization(p.K.Now())
+	res.CPUUtil = p.CPU.Utilization(p.K.Now())
+	res.UserPages = p.stats.userPages
+	res.GCCopies = p.stats.gcCopies
+	res.Erases = p.stats.eraseOps
+	res.FlashWrites = p.stats.flashWrites
+	res.FlashReads = p.stats.flashReads
+	return res, nil
+}
+
+// runHosted drives the workload through the host interface.
+func (p *Platform) runHosted(w trace.WorkloadSpec, mode Mode) (Result, error) {
+	stream, err := w.Stream()
+	if err != nil {
+		return Result{}, err
+	}
+	drained := false
+	handler := func(cmd *hostif.Command) { p.handleCommand(cmd, mode) }
+	if err := p.Host.Run(stream, handler, func() { drained = true }); err != nil {
+		return Result{}, err
+	}
+	p.K.RunAll()
+	if !drained {
+		return Result{}, fmt.Errorf("%w (%d of %d completed, %d outstanding)",
+			errStalled, p.Host.Stats.Completed, w.Requests, p.Host.Outstanding())
+	}
+	res := Result{
+		MBps:       p.Host.TailThroughputMBps(0.5),
+		RampMBps:   p.Host.ThroughputMBps(),
+		BytesMoved: int64(p.Host.Stats.BytesRead + p.Host.Stats.BytesWritten),
+		Completed:  p.Host.Stats.Completed,
+	}
+	res.HostQueuePeak = p.Host.Stats.QueuePeak
+	mean, pct := p.Host.LatencyPercentiles(99)
+	res.MeanLatUS = mean.Microseconds()
+	res.P99LatUS = pct[0].Microseconds()
+	return res, nil
+}
+
+// handleCommand is the full command-processing path.
+func (p *Platform) handleCommand(cmd *hostif.Command, mode Mode) {
+	if mode == ModeHostIdeal {
+		p.Host.Complete(cmd)
+		return
+	}
+	req := cmd.Req
+	switch req.Op {
+	case trace.OpWrite:
+		p.handleWrite(cmd, mode)
+	case trace.OpRead:
+		p.handleRead(cmd, mode)
+	case trace.OpTrim, trace.OpFlush:
+		// Firmware bookkeeping; the real FTL also unmaps.
+		p.cpuCost(req, 1, func() {
+			if req.Op == trace.OpTrim && p.mapper != nil {
+				p.mapperTrim(req)
+			}
+			p.Host.Complete(cmd)
+		})
+	}
+}
+
+// cpuCost charges firmware processing for a command (skipped in host+DDR
+// mode, which isolates the DMA+DRAM path like the paper's SATA+DDR column).
+func (p *Platform) cpuCost(req trace.Request, pages int, done func()) {
+	random := p.expectedLBA >= 0 && req.LBA != p.expectedLBA
+	if random {
+		p.stats.randomCmds++
+	} else {
+		p.stats.seqCmds++
+	}
+	p.expectedLBA = req.EndLBA()
+	var cycles int64
+	if p.firmware != nil {
+		// Execute the real firmware routine once per page of the command;
+		// the interpreter's cycle count is the charge. Dispatch/completion
+		// overheads still come from the parametric model (the routine
+		// covers only the L2P step).
+		costs := p.CPU.Config().Costs
+		cycles = costs.Dispatch + costs.Completion
+		lpn := req.LBA * trace.SectorSize / int64(p.pageBytes) % (1 << 20)
+		for i := 0; i < pages; i++ {
+			_, c, err := p.firmware.Resolve(lpn+int64(i), req.Op == trace.OpWrite)
+			if err != nil {
+				panic(fmt.Sprintf("core: firmware execution failed: %v", err))
+			}
+			cycles += c + costs.PerPage
+		}
+		// Random accesses miss the mapping-cache model the parametric
+		// path includes; the flat table walk in SRAM is the firmware's
+		// whole cost, so the distinction is carried by the routine itself.
+	} else {
+		cycles = p.CPU.Config().Costs.CommandCycles(random, pages)
+	}
+	p.CPU.Exec(cycles, done)
+}
+
+// acquireCachePages takes n write-cache tokens, then runs fn.
+func (p *Platform) acquireCachePages(n int, fn func()) {
+	if n <= 0 {
+		fn()
+		return
+	}
+	got := 0
+	var take func()
+	take = func() {
+		p.writeCache.AcquireWhenFree(func() {
+			got++
+			if got == n {
+				fn()
+				return
+			}
+			take()
+		})
+	}
+	take()
+}
+
+// pagesOf returns how many flash pages a request spans.
+func (p *Platform) pagesOf(bytes int64) int {
+	n := int((bytes + int64(p.pageBytes) - 1) / int64(p.pageBytes))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// handleWrite: host DMA into DRAM (optionally through the host-side
+// compressor), completion per buffer policy, then the flash flush path
+// (channel-side compressor, ECC encode, channel controller, NAND program).
+func (p *Platform) handleWrite(cmd *hostif.Command, mode Mode) {
+	req := cmd.Req
+	pages := p.pagesOf(req.Bytes)
+	afterCPU := func() {
+		// Host-side compression shrinks everything downstream of the host
+		// interface (AHB crossing, DRAM, NAND).
+		hostCompress := func(then func(ddrBytes int64)) {
+			if p.Comp.Config().Placement == compress.HostInterface {
+				p.Comp.Process(p.K, req.Bytes, then)
+				return
+			}
+			then(req.Bytes)
+		}
+		hostCompress(func(ddrBytes int64) {
+			// Compressed streams fill whole flash pages as they accumulate:
+			// host placement arrives in DRAM already compressed; channel
+			// placement compresses between DRAM and the controller.
+			flashPages := pages
+			var chanBytes int64
+			switch p.Comp.Config().Placement {
+			case compress.HostInterface:
+				p.compDebt += ddrBytes
+				flashPages = int(p.compDebt / int64(p.pageBytes))
+				p.compDebt -= int64(flashPages) * int64(p.pageBytes)
+			case compress.ChannelWay:
+				out := p.Comp.OutputBytes(ddrBytes)
+				p.Comp.Account(ddrBytes, out)
+				p.compDebt += out
+				flashPages = int(p.compDebt / int64(p.pageBytes))
+				p.compDebt -= int64(flashPages) * int64(p.pageBytes)
+				chanBytes = ddrBytes
+			}
+			ch := int(p.stripe) % p.Cfg.Channels
+			buf := p.DRAM.ForChannel(ch)
+			moveToDRAM := func(then func()) {
+				if err := p.hostDMA.Transfer(ddrBytes, nil, func(_, _ sim.Time) {
+					buf.Access(true, req.LBA*trace.SectorSize, ddrBytes, func(_, _ sim.Time) {
+						then()
+					})
+				}); err != nil {
+					panic(fmt.Sprintf("core: host DMA failed: %v", err))
+				}
+			}
+			if mode == ModeHostDDR {
+				moveToDRAM(func() { p.Host.Complete(cmd) })
+				return
+			}
+			// Backpressure: the finite write cache must admit every page
+			// before the host data can land in DRAM.
+			p.acquireCachePages(flashPages, func() {
+				moveToDRAM(func() {
+					// Channel compressor occupancy sits between DRAM and
+					// the channel controller.
+					p.Comp.Occupy(p.K, chanBytes, func() {
+						// Buffer policy: caching completes at DRAM landing.
+						remaining := flashPages
+						completeAtProgram := p.Cfg.CachePolicy != "cache"
+						if !completeAtProgram {
+							p.Host.Complete(cmd)
+						} else if remaining == 0 {
+							// Fully absorbed by compression debt.
+							p.Host.Complete(cmd)
+							return
+						}
+						onPage := func() {
+							p.writeCache.Release()
+							remaining--
+							if completeAtProgram && remaining == 0 {
+								p.Host.Complete(cmd)
+							}
+						}
+						for i := 0; i < flashPages; i++ {
+							if p.mapper != nil {
+								p.mapperWrite(req.LBA, i, onPage)
+							} else {
+								p.flashWrite(onPage)
+							}
+						}
+					})
+				})
+			})
+		})
+	}
+	if mode == ModeHostDDR {
+		afterCPU() // isolate the DMA path: no firmware cost
+		return
+	}
+	p.cpuCost(req, pages, afterCPU)
+}
+
+// handleRead: firmware, channel read (NAND -> DRAM), ECC decode, host DMA
+// out of DRAM, completion (the host interface models the tx wire).
+func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
+	req := cmd.Req
+	pages := p.pagesOf(req.Bytes)
+	afterCPU := func() {
+		if mode == ModeHostDDR {
+			// DRAM-only path: read the buffer and DMA to the host.
+			buf := p.DRAM.ForChannel(0)
+			buf.Access(false, req.LBA*trace.SectorSize, req.Bytes, func(_, _ sim.Time) {
+				if err := p.hostDMA.Transfer(req.Bytes, nil, func(_, _ sim.Time) {
+					p.Host.Complete(cmd)
+				}); err != nil {
+					panic(err)
+				}
+			})
+			return
+		}
+		remaining := pages
+		basePage := req.LBA * trace.SectorSize / int64(p.pageBytes)
+		for i := 0; i < pages; i++ {
+			var gdie int
+			var addr nand.Addr
+			mapped := false
+			if p.mapper != nil {
+				gdie, addr, mapped = p.mapperRead(req.LBA, i)
+				if !mapped {
+					// Unwritten/trimmed page: the real FTL answers from
+					// the map without touching flash (zero-fill read).
+					if err := p.hostDMA.Transfer(int64(p.pageBytes), nil, func(_, _ sim.Time) {
+						remaining--
+						if remaining == 0 {
+							p.Host.Complete(cmd)
+						}
+					}); err != nil {
+						panic(err)
+					}
+					continue
+				}
+			}
+			if !mapped {
+				gdie, addr = p.readAddr(basePage + int64(i))
+			}
+			chIdx, die := p.chanDie(gdie)
+			p.stats.flashReads++
+			err := p.Channels[chIdx].Read(die, addr, p.pageBytes, func() {
+				p.eccDecode(1, func() {
+					if err := p.hostDMA.Transfer(int64(p.pageBytes), nil, func(_, _ sim.Time) {
+						remaining--
+						if remaining == 0 {
+							p.Host.Complete(cmd)
+						}
+					}); err != nil {
+						panic(err)
+					}
+				})
+			})
+			if err != nil {
+				panic(fmt.Sprintf("core: read dispatch failed: %v", err))
+			}
+		}
+	}
+	if mode == ModeHostDDR {
+		afterCPU()
+		return
+	}
+	p.cpuCost(req, pages, afterCPU)
+}
+
+// runDrain measures the DDR+FLASH column: data is already in the DRAM
+// buffers; measure how fast the flash subsystem drains it (writes) or fills
+// it (reads). A bounded in-flight window keeps the event queue small while
+// saturating every die.
+func (p *Platform) runDrain(w trace.WorkloadSpec) (Result, error) {
+	totalPages := int(w.TotalBytes() / int64(p.pageBytes))
+	if totalPages < 1 {
+		totalPages = 1
+	}
+	window := 4 * p.totalDies * p.planeBatch
+	if window > totalPages {
+		window = totalPages
+	}
+	issued, completed := 0, 0
+	var pump func()
+	onDone := func() {
+		completed++
+		pump()
+	}
+	inFlight := func() int { return issued - completed }
+	pump = func() {
+		for issued < totalPages && inFlight() < window {
+			issued++
+			if w.Pattern.IsWrite() {
+				p.flashWrite(onDone)
+			} else {
+				gdie, addr := p.readAddr(int64(issued - 1))
+				chIdx, die := p.chanDie(gdie)
+				p.stats.flashReads++
+				if err := p.Channels[chIdx].Read(die, addr, p.pageBytes, func() {
+					p.eccDecode(1, onDone)
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if issued == totalPages {
+			p.flushPartialBatches()
+		}
+	}
+	p.K.Schedule(0, pump)
+	p.K.RunAll()
+	if completed != totalPages {
+		return Result{}, fmt.Errorf("%w (drain: %d of %d pages)", errStalled, completed, totalPages)
+	}
+	bytes := int64(totalPages) * int64(p.pageBytes)
+	mbps := 0.0
+	if p.K.Now() > 0 {
+		mbps = float64(bytes) / p.K.Now().Seconds() / 1e6
+	}
+	return Result{MBps: mbps, BytesMoved: bytes, Completed: uint64(completed)}, nil
+}
+
+// RunRequests replays an explicit request list (a parsed trace file)
+// through the host interface in full-platform mode. The WAF abstraction is
+// parameterised from the observed write-address pattern, and every page a
+// read may touch is preloaded.
+func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
+	if len(reqs) == 0 {
+		return Result{}, errors.New("core: empty request list")
+	}
+	// Classify the write pattern and find the read extent.
+	var writes, randWrites int
+	var expected int64 = -1
+	var maxReadEnd int64
+	var bytesTotal int64
+	for _, r := range reqs {
+		bytesTotal += r.Bytes
+		switch r.Op {
+		case trace.OpWrite:
+			writes++
+			if expected >= 0 && r.LBA != expected {
+				randWrites++
+			}
+			expected = r.EndLBA()
+		case trace.OpRead:
+			if end := r.EndLBA() * trace.SectorSize; end > maxReadEnd {
+				maxReadEnd = end
+			}
+		}
+	}
+	random := writes > 0 && float64(randWrites) > 0.5*float64(writes)
+	waf := p.Cfg.WAFOverride
+	if waf == 0 {
+		var err error
+		waf, err = ftl.ForPattern(random, p.Cfg.SpareFactor)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	m, err := ftl.NewModel(waf, p.geo.PagesPerBlock)
+	if err != nil {
+		return Result{}, err
+	}
+	p.wafModel = m
+	if maxReadEnd > 0 && p.mapper == nil {
+		if err := p.preloadReadRegion(maxReadEnd); err != nil {
+			return Result{}, err
+		}
+	}
+	wallStart := time.Now()
+	drained := false
+	handler := func(cmd *hostif.Command) { p.handleCommand(cmd, ModeFull) }
+	if err := p.Host.Run(trace.NewSliceStream(reqs), handler, func() { drained = true }); err != nil {
+		return Result{}, err
+	}
+	p.K.RunAll()
+	if !drained {
+		return Result{}, fmt.Errorf("%w (trace replay: %d completed)", errStalled, p.Host.Stats.Completed)
+	}
+	res := Result{
+		Config:     p.Cfg.Name,
+		Topology:   p.Cfg.Describe(),
+		Mode:       ModeFull,
+		Requests:   len(reqs),
+		MBps:       p.Host.TailThroughputMBps(0.5),
+		RampMBps:   p.Host.ThroughputMBps(),
+		BytesMoved: int64(p.Host.Stats.BytesRead + p.Host.Stats.BytesWritten),
+		Completed:  p.Host.Stats.Completed,
+		SimTime:    p.K.Now(),
+		WAF:        p.wafModel.WAF,
+	}
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	if res.WallSeconds > 0 {
+		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.K.Now())) / 1000 / res.WallSeconds
+	}
+	res.Events = p.K.Executed
+	res.HostQueuePeak = p.Host.Stats.QueuePeak
+	res.BusUtil = p.Bus.Utilization(p.K.Now())
+	res.CPUUtil = p.CPU.Utilization(p.K.Now())
+	res.UserPages = p.stats.userPages
+	res.GCCopies = p.stats.gcCopies
+	res.Erases = p.stats.eraseOps
+	res.FlashWrites = p.stats.flashWrites
+	res.FlashReads = p.stats.flashReads
+	return res, nil
+}
+
+// RunWorkload is the one-shot convenience: build a platform from cfg and
+// run the workload in the given mode.
+func RunWorkload(cfg config.Platform, w trace.WorkloadSpec, mode Mode) (Result, error) {
+	p, err := Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Run(w, mode)
+}

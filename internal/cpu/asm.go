@@ -1,0 +1,567 @@
+package cpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates ARM assembly source (the supported ARMv4 subset) into
+// instruction words. Syntax:
+//
+//	label:              ; comment (also @ and //)
+//	    mov   r0, #12
+//	    movs  r1, r2, lsl #3
+//	    addeq r3, r4, r5
+//	    ldr   r0, [r1, #4]      ; pre-index
+//	    ldr   r0, [r1], #4      ; post-index
+//	    strb  r2, [r3]
+//	    push  {r4, r5, lr}
+//	    pop   {r4, r5, pc}
+//	    b     loop
+//	    bllt  handler
+//	    bx    lr
+//	    swi   #7
+//	    .word 0x1234
+//
+// Mnemonic structure: base op + optional condition suffix + optional 's'.
+func Assemble(src string) ([]uint32, map[string]uint32, error) {
+	type line struct {
+		no   int
+		text string
+	}
+	var lines []line
+	labels := map[string]uint32{}
+	var addr uint32
+
+	// Pass 1: strip comments, record labels and addresses.
+	for i, raw := range strings.Split(src, "\n") {
+		t := raw
+		for _, cm := range []string{";", "@", "//"} {
+			if idx := strings.Index(t, cm); idx >= 0 {
+				t = t[:idx]
+			}
+		}
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		for {
+			colon := strings.Index(t, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(t[:colon])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, nil, fmt.Errorf("cpu asm line %d: bad label %q", i+1, label)
+			}
+			if _, dup := labels[strings.ToLower(label)]; dup {
+				return nil, nil, fmt.Errorf("cpu asm line %d: duplicate label %q", i+1, label)
+			}
+			labels[strings.ToLower(label)] = addr
+			t = strings.TrimSpace(t[colon+1:])
+		}
+		if t == "" {
+			continue
+		}
+		lines = append(lines, line{no: i + 1, text: t})
+		addr += 4
+	}
+
+	// Pass 2: encode.
+	words := make([]uint32, 0, len(lines))
+	addr = 0
+	for _, ln := range lines {
+		w, err := assembleOne(ln.text, addr, labels)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cpu asm line %d (%q): %v", ln.no, ln.text, err)
+		}
+		words = append(words, w)
+		addr += 4
+	}
+	return words, labels, nil
+}
+
+var condNames = map[string]uint32{
+	"eq": CondEQ, "ne": CondNE, "cs": CondCS, "cc": CondCC,
+	"mi": CondMI, "pl": CondPL, "vs": CondVS, "vc": CondVC,
+	"hi": CondHI, "ls": CondLS, "ge": CondGE, "lt": CondLT,
+	"gt": CondGT, "le": CondLE, "al": CondAL,
+}
+
+var dataOps = map[string]uint32{
+	"and": OpAND, "eor": OpEOR, "sub": OpSUB, "rsb": OpRSB,
+	"add": OpADD, "adc": OpADC, "sbc": OpSBC, "rsc": OpRSC,
+	"tst": OpTST, "teq": OpTEQ, "cmp": OpCMP, "cmn": OpCMN,
+	"orr": OpORR, "mov": OpMOV, "bic": OpBIC, "mvn": OpMVN,
+}
+
+var shiftNames = map[string]uint32{
+	"lsl": ShiftLSL, "lsr": ShiftLSR, "asr": ShiftASR, "ror": ShiftROR,
+}
+
+// parseReg decodes r0-r15/sp/lr/pc.
+func parseReg(s string) (uint32, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return RegSP, nil
+	case "lr":
+		return RegLR, nil
+	case "pc":
+		return RegPC, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 15 {
+			return uint32(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseImm decodes #n (decimal, hex with 0x, or negative).
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("expected immediate, got %q", s)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s[1:]), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// encodeImmOperand finds a rotate encoding for a 32-bit value.
+func encodeImmOperand(v uint32) (uint32, bool) {
+	for rot := uint32(0); rot < 16; rot++ {
+		if rotated := ror(v, 32-rot*2); /* left-rotate by rot*2 */ rotated <= 0xFF {
+			return rot<<8 | rotated, true
+		}
+	}
+	return 0, false
+}
+
+// splitOperands splits on commas not inside brackets or braces.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, r := range s {
+		switch r {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		}
+		if r == ',' && depth == 0 {
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		out = append(out, strings.TrimSpace(cur.String()))
+	}
+	return out
+}
+
+// operand2 encodes "rM", "rM, lsl #n", or "#imm" into bits 0-11 plus the I
+// bit (bit 25).
+func operand2(parts []string) (uint32, error) {
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("missing operand2")
+	}
+	if strings.HasPrefix(parts[0], "#") {
+		if len(parts) != 1 {
+			return 0, fmt.Errorf("immediate cannot be shifted")
+		}
+		v, err := parseImm(parts[0])
+		if err != nil {
+			return 0, err
+		}
+		enc, ok := encodeImmOperand(uint32(v))
+		if !ok {
+			return 0, fmt.Errorf("immediate %d not encodable", v)
+		}
+		return 1<<25 | enc, nil
+	}
+	rm, err := parseReg(parts[0])
+	if err != nil {
+		return 0, err
+	}
+	if len(parts) == 1 {
+		return rm, nil
+	}
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("bad shifted operand %v", parts)
+	}
+	f := strings.Fields(parts[1])
+	if len(f) != 2 {
+		return 0, fmt.Errorf("bad shift %q", parts[1])
+	}
+	st, ok := shiftNames[strings.ToLower(f[0])]
+	if !ok {
+		return 0, fmt.Errorf("bad shift type %q", f[0])
+	}
+	amt, err := parseImm(f[1])
+	if err != nil {
+		return 0, err
+	}
+	if amt < 0 || amt > 31 {
+		return 0, fmt.Errorf("shift amount %d out of range", amt)
+	}
+	return uint32(amt)<<7 | st<<5 | rm, nil
+}
+
+// parseMnemonic splits "addeqs" into base, cond, setS.
+func parseMnemonic(m string, bases []string) (base string, cond uint32, setS bool, ok bool) {
+	m = strings.ToLower(m)
+	cond = CondAL
+	for _, b := range bases {
+		if !strings.HasPrefix(m, b) {
+			continue
+		}
+		rest := m[len(b):]
+		if rest == "" {
+			return b, cond, false, true
+		}
+		if rest == "s" {
+			return b, cond, true, true
+		}
+		if c, okc := condNames[rest]; okc {
+			return b, c, false, true
+		}
+		if len(rest) == 3 && rest[2] == 's' {
+			if c, okc := condNames[rest[:2]]; okc {
+				return b, c, true, true
+			}
+		}
+	}
+	return "", 0, false, false
+}
+
+func assembleOne(text string, addr uint32, labels map[string]uint32) (uint32, error) {
+	fields := strings.SplitN(text, " ", 2)
+	mnem := strings.ToLower(strings.TrimSpace(fields[0]))
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	ops := splitOperands(rest)
+
+	// Directives.
+	if mnem == ".word" {
+		v, err := strconv.ParseInt(rest, 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad .word %q", rest)
+		}
+		return uint32(v), nil
+	}
+
+	// Branches (checked before data ops: "bl"/"b" prefix ambiguity with
+	// "bic" is resolved by trying exact op table lookups first below).
+	if base, cond, _, ok := parseMnemonic(mnem, []string{"bx"}); ok && base == "bx" {
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("bx needs one register")
+		}
+		rm, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		return cond<<28 | 0x012FFF10 | rm, nil
+	}
+	if isBranch(mnem) {
+		link, cond, err := branchParts(mnem)
+		if err != nil {
+			return 0, err
+		}
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("branch needs one target")
+		}
+		target, ok := labels[strings.ToLower(ops[0])]
+		if !ok {
+			return 0, fmt.Errorf("unknown label %q", ops[0])
+		}
+		off := (int64(target) - int64(addr) - 8) / 4
+		if off < -(1<<23) || off >= 1<<23 {
+			return 0, fmt.Errorf("branch target out of range")
+		}
+		w := cond<<28 | 0x0A000000 | uint32(off)&0xFFFFFF
+		if link {
+			w |= 1 << 24
+		}
+		return w, nil
+	}
+
+	// SWI.
+	if base, cond, _, ok := parseMnemonic(mnem, []string{"swi"}); ok && base == "swi" {
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("swi needs an immediate")
+		}
+		v, err := parseImm(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		return cond<<28 | 0x0F000000 | uint32(v)&0xFFFFFF, nil
+	}
+
+	// push/pop sugar.
+	if mnem == "push" || mnem == "pop" {
+		regs, err := parseRegList(rest)
+		if err != nil {
+			return 0, err
+		}
+		if mnem == "push" { // STMFD sp!, {...}: P=1 U=0 W=1 L=0
+			return uint32(CondAL)<<28 | 0x09200000 | uint32(RegSP)<<16 | regs, nil
+		}
+		// LDMFD sp!, {...}: P=0 U=1 W=1 L=1
+		return uint32(CondAL)<<28 | 0x08B00000 | uint32(RegSP)<<16 | regs, nil
+	}
+
+	// Multiply.
+	if base, cond, setS, ok := parseMnemonic(mnem, []string{"mul", "mla"}); ok {
+		want := 3
+		if base == "mla" {
+			want = 4
+		}
+		if len(ops) != want {
+			return 0, fmt.Errorf("%s needs %d operands", base, want)
+		}
+		rd, err1 := parseReg(ops[0])
+		rm, err2 := parseReg(ops[1])
+		rs, err3 := parseReg(ops[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return 0, fmt.Errorf("bad multiply operands")
+		}
+		w := cond<<28 | 0x00000090 | rd<<16 | rs<<8 | rm
+		if setS {
+			w |= 1 << 20
+		}
+		if base == "mla" {
+			rn, err := parseReg(ops[3])
+			if err != nil {
+				return 0, err
+			}
+			w |= 1<<21 | rn<<12
+		}
+		return w, nil
+	}
+
+	// Memory.
+	if base, cond, _, ok := parseMnemonic(mnem, []string{"ldrb", "ldr", "strb", "str"}); ok {
+		return assembleMem(base, cond, ops)
+	}
+
+	// Data processing.
+	baseNames := make([]string, 0, len(dataOps))
+	for n := range dataOps {
+		baseNames = append(baseNames, n)
+	}
+	if base, cond, setS, ok := parseMnemonic(mnem, baseNames); ok {
+		return assembleDataProc(base, cond, setS, ops)
+	}
+	return 0, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func isBranch(m string) bool {
+	if m == "b" || m == "bl" {
+		return true
+	}
+	if len(m) == 3 && m[0] == 'b' {
+		_, ok := condNames[m[1:]]
+		return ok
+	}
+	if len(m) == 4 && strings.HasPrefix(m, "bl") {
+		_, ok := condNames[m[2:]]
+		return ok
+	}
+	return false
+}
+
+func branchParts(m string) (link bool, cond uint32, err error) {
+	cond = CondAL
+	switch {
+	case m == "b":
+	case m == "bl":
+		link = true
+	case len(m) == 3:
+		cond = condNames[m[1:]]
+	case len(m) == 4:
+		link = true
+		cond = condNames[m[2:]]
+	default:
+		return false, 0, fmt.Errorf("bad branch %q", m)
+	}
+	return link, cond, nil
+}
+
+func parseRegList(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return 0, fmt.Errorf("bad register list %q", s)
+	}
+	var mask uint32
+	for _, part := range strings.Split(s[1:len(s)-1], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if dash := strings.Index(part, "-"); dash >= 0 {
+			lo, err1 := parseReg(part[:dash])
+			hi, err2 := parseReg(part[dash+1:])
+			if err1 != nil || err2 != nil || lo > hi {
+				return 0, fmt.Errorf("bad register range %q", part)
+			}
+			for r := lo; r <= hi; r++ {
+				mask |= 1 << r
+			}
+			continue
+		}
+		r, err := parseReg(part)
+		if err != nil {
+			return 0, err
+		}
+		mask |= 1 << r
+	}
+	if mask == 0 {
+		return 0, fmt.Errorf("empty register list")
+	}
+	return mask, nil
+}
+
+func assembleMem(base string, cond uint32, ops []string) (uint32, error) {
+	if len(ops) < 2 {
+		return 0, fmt.Errorf("%s needs rd and address", base)
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		return 0, err
+	}
+	w := cond<<28 | 0x04000000 | rd<<12
+	if strings.HasPrefix(base, "ldr") {
+		w |= 1 << 20
+	}
+	if strings.HasSuffix(base, "b") {
+		w |= 1 << 22
+	}
+	addr := ops[1]
+	if !strings.HasPrefix(addr, "[") {
+		return 0, fmt.Errorf("bad address %q", addr)
+	}
+	post := len(ops) == 3 // [rn], #off
+	writeback := strings.HasSuffix(addr, "!")
+	addr = strings.TrimSuffix(addr, "!")
+	if !strings.HasSuffix(addr, "]") {
+		return 0, fmt.Errorf("bad address %q", addr)
+	}
+	inner := splitOperands(addr[1 : len(addr)-1])
+	rn, err := parseReg(inner[0])
+	if err != nil {
+		return 0, err
+	}
+	w |= rn << 16
+	var offStr string
+	if post {
+		if len(inner) != 1 {
+			return 0, fmt.Errorf("post-index address must be [rn]")
+		}
+		offStr = ops[2]
+	} else {
+		w |= 1 << 24 // pre-index
+		if writeback {
+			w |= 1 << 21
+		}
+		if len(inner) == 2 {
+			offStr = inner[1]
+		}
+	}
+	up := true
+	var off int64
+	if offStr != "" {
+		if strings.HasPrefix(offStr, "#") {
+			off, err = parseImm(offStr)
+			if err != nil {
+				return 0, err
+			}
+			if off < 0 {
+				up = false
+				off = -off
+			}
+			if off > 0xFFF {
+				return 0, fmt.Errorf("offset %d too large", off)
+			}
+			w |= uint32(off)
+		} else {
+			rm, err := parseReg(offStr)
+			if err != nil {
+				return 0, err
+			}
+			w |= 1<<25 | rm // register offset
+		}
+	}
+	if up {
+		w |= 1 << 23
+	}
+	return w, nil
+}
+
+func assembleDataProc(base string, cond uint32, setS bool, ops []string) (uint32, error) {
+	opcode, ok := dataOps[base]
+	if !ok {
+		return 0, fmt.Errorf("bad data op %q", base)
+	}
+	w := cond<<28 | opcode<<21
+	if setS {
+		w |= 1 << 20
+	}
+	testOnly := opcode >= OpTST && opcode <= OpCMN
+	moveLike := opcode == OpMOV || opcode == OpMVN
+	switch {
+	case testOnly:
+		if len(ops) < 2 {
+			return 0, fmt.Errorf("%s needs rn, op2", base)
+		}
+		rn, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		op2, err := operand2(ops[1:])
+		if err != nil {
+			return 0, err
+		}
+		return w | rn<<16 | op2 | 1<<20, nil // test ops always set flags
+	case moveLike:
+		if len(ops) < 2 {
+			return 0, fmt.Errorf("%s needs rd, op2", base)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		op2, err := operand2(ops[1:])
+		if err != nil {
+			return 0, err
+		}
+		return w | rd<<12 | op2, nil
+	default:
+		if len(ops) < 3 {
+			return 0, fmt.Errorf("%s needs rd, rn, op2", base)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rn, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		op2, err := operand2(ops[2:])
+		if err != nil {
+			return 0, err
+		}
+		return w | rn<<16 | rd<<12 | op2, nil
+	}
+}

@@ -1,0 +1,479 @@
+// Package ctrl models the channel/way controller (paper §III-B3): the block
+// that formats CPU-issued commands into the ONFI protocol and moves page
+// data between the DRAM buffers and the NAND array. Following the Evatronix
+// controller microarchitecture the paper references [14], a channel
+// controller comprises an AMBA AHB slave program port, a push-pull DMA
+// (PP-DMA), an SRAM cache buffer, an ONFI 2.0 port and a command translator.
+// The channel/way interconnection supports the two gang schemes of Agrawal
+// et al. [15]: shared-bus (one data bus serialises all transfers on the
+// channel) and shared-control (per-way data paths, shared command/address
+// issue).
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/amba"
+	"repro/internal/dram"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// GangMode selects the channel/way interconnection scheme.
+type GangMode uint8
+
+// Gang modes (paper §III-B3 / ref [15]).
+const (
+	SharedBus GangMode = iota
+	SharedControl
+)
+
+// String names the gang mode.
+func (g GangMode) String() string {
+	if g == SharedControl {
+		return "shared-control"
+	}
+	return "shared-bus"
+}
+
+// ParseGangMode decodes a gang-mode name.
+func ParseGangMode(s string) (GangMode, error) {
+	switch s {
+	case "shared-bus", "bus", "":
+		return SharedBus, nil
+	case "shared-control", "control":
+		return SharedControl, nil
+	}
+	return SharedBus, fmt.Errorf("ctrl: unknown gang mode %q", s)
+}
+
+// Config describes one channel controller.
+type Config struct {
+	Ways       int
+	DiesPerWay int
+	Gang       GangMode
+	// CacheSlots bounds in-flight page operations per channel (the SRAM
+	// cache buffer capacity in pages). 0 selects 6 slots per die.
+	CacheSlots int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Ways < 1 || c.DiesPerWay < 1 {
+		return fmt.Errorf("ctrl: invalid geometry %+v", c)
+	}
+	return nil
+}
+
+// Dies returns dies per channel.
+func (c Config) Dies() int { return c.Ways * c.DiesPerWay }
+
+// Stats aggregates channel activity.
+type Stats struct {
+	PageWrites    uint64
+	PageReads     uint64
+	Erases        uint64
+	BytesToNAND   uint64
+	BytesFromNAND uint64
+}
+
+// Channel is one channel controller instance with its NAND dies.
+type Channel struct {
+	ID  int
+	cfg Config
+	k   *sim.Kernel
+
+	dies    []*nand.Die
+	dieQ    [][]*dieOp // per-die FIFO command queue (the command translator)
+	dieBusy []bool     // die interface occupied (RB# low or data cycles active)
+
+	// ONFI transport. Shared-bus: one server carries commands and data.
+	// Shared-control: cmdBus carries command/address cycles, wayBus[w]
+	// carries the data cycles of way w.
+	cmdBus *sim.Server
+	wayBus []*sim.Server
+
+	cache *sim.TokenGate // SRAM cache buffer slots
+
+	ppDMA *amba.Master // push-pull DMA's AHB master port
+	buf   *dram.Buffer // DRAM buffer serving this channel
+
+	tim nand.Timing
+
+	Stats Stats
+}
+
+// New builds a channel controller with its dies attached.
+func New(k *sim.Kernel, id int, cfg Config, geo nand.Geometry, tim nand.Timing,
+	ppDMA *amba.Master, buf *dram.Buffer, rng *sim.RNG) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ppDMA == nil || buf == nil {
+		return nil, errors.New("ctrl: nil DMA port or DRAM buffer")
+	}
+	ch := &Channel{ID: id, cfg: cfg, k: k, ppDMA: ppDMA, buf: buf, tim: tim}
+	for d := 0; d < cfg.Dies(); d++ {
+		die, err := nand.NewDie(k, id*1000+d, geo, tim, rng.Fork(uint64(d+1)))
+		if err != nil {
+			return nil, err
+		}
+		ch.dies = append(ch.dies, die)
+	}
+	ch.dieQ = make([][]*dieOp, cfg.Dies())
+	ch.dieBusy = make([]bool, cfg.Dies())
+	ch.cmdBus = sim.NewServer(k, nil, fmt.Sprintf("ch%d-onfi", id))
+	if cfg.Gang == SharedControl {
+		for w := 0; w < cfg.Ways; w++ {
+			ch.wayBus = append(ch.wayBus, sim.NewServer(k, nil, fmt.Sprintf("ch%d-way%d", id, w)))
+		}
+	}
+	slots := cfg.CacheSlots
+	if slots <= 0 {
+		slots = 6 * cfg.Dies()
+	}
+	ch.cache = sim.NewTokenGate(k, slots)
+	return ch, nil
+}
+
+// Config returns the channel configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// Dies returns the number of dies on the channel.
+func (ch *Channel) Dies() int { return len(ch.dies) }
+
+// Die returns die d (for wear setup and assertions).
+func (ch *Channel) Die(d int) *nand.Die { return ch.dies[d] }
+
+// SetWear forces all dies to normalised wear w (Fig. 5 setup).
+func (ch *Channel) SetWear(w float64) {
+	for _, d := range ch.dies {
+		d.SetWear(w)
+	}
+}
+
+// AvgWear reports the mean die wear.
+func (ch *Channel) AvgWear() float64 {
+	var t float64
+	for _, d := range ch.dies {
+		t += d.AvgWear()
+	}
+	return t / float64(len(ch.dies))
+}
+
+// wayOf maps a die index to its way.
+func (ch *Channel) wayOf(die int) int { return die / ch.cfg.DiesPerWay }
+
+// dataBus returns the server carrying data cycles for a die.
+func (ch *Channel) dataBus(die int) *sim.Server {
+	if ch.cfg.Gang == SharedControl {
+		return ch.wayBus[ch.wayOf(die)]
+	}
+	return ch.cmdBus
+}
+
+// acquireCmd serialises a command/address sequence; in shared-bus mode the
+// command cycles ride the same bus as data.
+func (ch *Channel) acquireCmd(fn func()) {
+	ch.cmdBus.Acquire(ch.tim.CommandOverhead(), func(_, end sim.Time) {
+		ch.k.At(end, fn)
+	})
+}
+
+// checkDie validates a die index.
+func (ch *Channel) checkDie(die int) error {
+	if die < 0 || die >= len(ch.dies) {
+		return fmt.Errorf("ctrl: die %d out of range (channel has %d)", die, len(ch.dies))
+	}
+	return nil
+}
+
+// Write moves pageBytes from the DRAM buffer through the controller into
+// die/addr and programs it. done fires when the die completes the program.
+// The stages pipeline across dies: PP-DMA fetch (AHB + DRAM), ONFI data-in,
+// array program.
+func (ch *Channel) Write(die int, addr nand.Addr, pageBytes int, done func()) error {
+	return ch.WriteMulti(die, []nand.Addr{addr}, pageBytes, done)
+}
+
+// dieOpKind labels per-die queued operations.
+type dieOpKind uint8
+
+const (
+	opWrite dieOpKind = iota
+	opRead
+	opErase
+)
+
+// dieOp is one queued die command. Writes prefetch their data into the SRAM
+// cache while queued (dataReady); the die issues commands strictly in queue
+// order, which is how the command translator preserves host/FTL ordering.
+type dieOp struct {
+	kind      dieOpKind
+	addrs     []nand.Addr
+	bytes     int64 // total payload bytes
+	fetched   bool  // write prefetch (DRAM+AHB) complete
+	prepped   bool  // write prep stage (e.g. ECC encode) complete
+	slotReady bool  // read SRAM slot reserved
+	done      func()
+}
+
+// writeReady reports whether a write op can issue to the die.
+func (op *dieOp) writeReady() bool { return op.fetched && op.prepped }
+
+// enqueue appends an op in command order and pumps the die.
+func (ch *Channel) enqueue(die int, op *dieOp) {
+	ch.dieQ[die] = append(ch.dieQ[die], op)
+	ch.pump(die)
+}
+
+// pump starts the head-of-queue operation of a die when the die interface is
+// free (and, for writes, the data prefetch has landed in the SRAM cache).
+func (ch *Channel) pump(die int) {
+	if ch.dieBusy[die] || len(ch.dieQ[die]) == 0 {
+		return
+	}
+	op := ch.dieQ[die][0]
+	if op.kind == opWrite && !op.writeReady() {
+		return // prefetch/prep completion will re-pump
+	}
+	if op.kind == opRead && !op.slotReady {
+		return // SRAM slot grant will re-pump
+	}
+	ch.dieQ[die] = ch.dieQ[die][1:]
+	ch.dieBusy[die] = true
+	switch op.kind {
+	case opWrite:
+		ch.startWrite(die, op)
+	case opRead:
+		ch.startRead(die, op)
+	case opErase:
+		ch.startErase(die, op)
+	}
+}
+
+// release frees the die interface and pumps the next queued op.
+func (ch *Channel) release(die int) {
+	ch.dieBusy[die] = false
+	ch.pump(die)
+}
+
+func (ch *Channel) startWrite(die int, op *dieOp) {
+	// Command/address plus data-in cycles occupy the (gang-dependent) bus.
+	busTime := sim.Time(len(op.addrs))*ch.tim.CommandOverhead() + ch.tim.DataTransferTime(int(op.bytes))
+	ch.dataBus(die).Acquire(busTime, func(_, end sim.Time) {
+		ch.k.At(end, func() {
+			_, err := ch.dies[die].MultiPlaneProgram(op.addrs, func() {
+				ch.Stats.PageWrites += uint64(len(op.addrs))
+				ch.Stats.BytesToNAND += uint64(op.bytes)
+				ch.cache.Release()
+				ch.release(die)
+				if op.done != nil {
+					op.done()
+				}
+			})
+			if err != nil {
+				panic(fmt.Sprintf("ctrl: program failed on ch%d die%d %+v: %v",
+					ch.ID, die, op.addrs, err))
+			}
+		})
+	})
+}
+
+func (ch *Channel) startRead(die int, op *dieOp) {
+	// Stage 1: command/address cycles, then the array sense.
+	ch.acquireCmd(func() {
+		_, err := ch.dies[die].Read(op.addrs[0], func() {
+			// Stage 2: data-out cycles on the data bus (the SRAM slot was
+			// reserved at enqueue, keeping slot-grant order equal to
+			// command order — a FIFO property that rules out deadlock).
+			ch.dataBus(die).Acquire(ch.tim.DataTransferTime(int(op.bytes)), func(_, end sim.Time) {
+				ch.k.At(end, func() {
+					ch.release(die)
+					// Stage 3: PP-DMA pushes to DRAM over the AHB.
+					if err := ch.ppDMA.Transfer(op.bytes, nil, func(_, _ sim.Time) {
+						ch.buf.Access(true, int64(ch.ID)*op.bytes, op.bytes, func(_, _ sim.Time) {
+							ch.Stats.PageReads++
+							ch.Stats.BytesFromNAND += uint64(op.bytes)
+							ch.cache.Release()
+							if op.done != nil {
+								op.done()
+							}
+						})
+					}); err != nil {
+						panic(fmt.Sprintf("ctrl: DMA failed: %v", err))
+					}
+				})
+			})
+		})
+		if err != nil {
+			panic(fmt.Sprintf("ctrl: read failed on ch%d die%d %+v: %v",
+				ch.ID, die, op.addrs[0], err))
+		}
+	})
+}
+
+func (ch *Channel) startErase(die int, op *dieOp) {
+	a := op.addrs[0]
+	ch.acquireCmd(func() {
+		_, err := ch.dies[die].EraseBlock(a.Plane, a.Block, func() {
+			ch.Stats.Erases++
+			ch.release(die)
+			if op.done != nil {
+				op.done()
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("ctrl: erase failed on ch%d die%d p%d b%d: %v",
+				ch.ID, die, a.Plane, a.Block, err))
+		}
+	})
+}
+
+// WriteMulti programs several pages of one die as a multi-plane operation
+// (all addresses must target distinct planes at the same block/page offset;
+// a single address degenerates to a plain program). pageBytes is the size of
+// each page. done fires when the array operation completes. Data prefetch
+// (DRAM read + AHB DMA into the SRAM cache) begins immediately and overlaps
+// earlier operations of the same die; the program itself issues in strict
+// command order.
+func (ch *Channel) WriteMulti(die int, addrs []nand.Addr, pageBytes int, done func()) error {
+	return ch.WriteMultiPrep(die, addrs, pageBytes, nil, done)
+}
+
+// WriteMultiPrep is WriteMulti with an additional preparation stage (for
+// example an ECC encode on a shared engine): prep is started at enqueue time
+// and runs concurrently with the data prefetch; the program issues — in
+// strict command order — once both complete. Callers that need allocation
+// order to equal program order enqueue synchronously and push their
+// variable-latency stages into prep.
+func (ch *Channel) WriteMultiPrep(die int, addrs []nand.Addr, pageBytes int, prep func(ready func()), done func()) error {
+	if err := ch.checkDie(die); err != nil {
+		return err
+	}
+	if pageBytes <= 0 {
+		return errors.New("ctrl: non-positive page size")
+	}
+	if len(addrs) == 0 {
+		return errors.New("ctrl: empty address list")
+	}
+	total := int64(pageBytes) * int64(len(addrs))
+	op := &dieOp{kind: opWrite, addrs: addrs, bytes: total, done: done}
+	op.prepped = prep == nil
+	// Start prep before enqueueing the program: a prep stage may itself
+	// enqueue operations on this die (e.g. a GC source read), and those
+	// must precede the dependent program in the command queue.
+	if prep != nil {
+		prep(func() {
+			op.prepped = true
+			ch.pump(die)
+		})
+	}
+	ch.enqueue(die, op)
+	// Prefetch: SRAM slot, DRAM read, AHB transfer; then mark data ready.
+	ch.cache.AcquireWhenFree(func() {
+		ch.buf.Access(false, int64(ch.ID)*total, total, func(_, _ sim.Time) {
+			if err := ch.ppDMA.Transfer(total, nil, func(_, _ sim.Time) {
+				op.fetched = true
+				ch.pump(die)
+			}); err != nil {
+				panic(fmt.Sprintf("ctrl: DMA failed: %v", err))
+			}
+		})
+	})
+	return nil
+}
+
+// Read senses die/addr and moves the page back into the DRAM buffer. done
+// fires when the data lands in DRAM.
+func (ch *Channel) Read(die int, addr nand.Addr, pageBytes int, done func()) error {
+	if err := ch.checkDie(die); err != nil {
+		return err
+	}
+	if pageBytes <= 0 {
+		return errors.New("ctrl: non-positive page size")
+	}
+	op := &dieOp{kind: opRead, addrs: []nand.Addr{addr}, bytes: int64(pageBytes), done: done}
+	ch.enqueue(die, op)
+	ch.cache.AcquireWhenFree(func() {
+		op.slotReady = true
+		ch.pump(die)
+	})
+	return nil
+}
+
+// Erase reclaims a block on a die. done fires at erase completion.
+func (ch *Channel) Erase(die, plane, block int, done func()) error {
+	if err := ch.checkDie(die); err != nil {
+		return err
+	}
+	ch.enqueue(die, &dieOp{kind: opErase, addrs: []nand.Addr{{Plane: plane, Block: block}}, done: done})
+	return nil
+}
+
+// PageAllocator hands out physical page addresses per die in program-order,
+// cycling plane fastest, then page, then block — so PlanesPerDie consecutive
+// allocations form a legal multi-plane program batch (same block/page,
+// distinct planes). It is the minimal allocation the platform's WAF-FTL mode
+// needs: the logical mapping is abstracted; only legal ONFI program order
+// matters for timing.
+type PageAllocator struct {
+	geo     nand.Geometry
+	next    []nand.Addr // per die
+	wrapped []bool      // die has cycled at least once: blocks need erasing
+}
+
+// NewPageAllocator builds an allocator for n dies of geometry geo.
+func NewPageAllocator(n int, geo nand.Geometry) *PageAllocator {
+	a := &PageAllocator{geo: geo}
+	a.next = make([]nand.Addr, n)
+	a.wrapped = make([]bool, n)
+	return a
+}
+
+// Next returns the next program address for a die. needErase is true when
+// the address opens a block that was programmed in a previous lap — the
+// platform must erase (plane, block) before this program lands.
+func (a *PageAllocator) Next(die int) (addr nand.Addr, needErase bool) {
+	cur := a.next[die]
+	addr = cur
+	needErase = a.wrapped[die] && cur.Page == 0
+	// Advance: plane, then page, then block.
+	cur.Plane++
+	if cur.Plane == a.geo.PlanesPerDie {
+		cur.Plane = 0
+		cur.Page++
+		if cur.Page == a.geo.PagesPerBlock {
+			cur.Page = 0
+			cur.Block++
+			if cur.Block == a.geo.BlocksPerPlane {
+				cur.Block = 0
+				a.wrapped[die] = true
+			}
+		}
+	}
+	a.next[die] = cur
+	return addr, needErase
+}
+
+// Batch returns up to n consecutive addresses of one die forming a legal
+// multi-plane group (it stops at plane-group boundaries), plus the blocks
+// that must be erased first.
+func (a *PageAllocator) Batch(die, n int) (addrs []nand.Addr, erase []nand.Addr) {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		// Only extend within a same block/page plane group.
+		if i > 0 && a.next[die].Plane == 0 {
+			break
+		}
+		addr, needErase := a.Next(die)
+		if needErase {
+			erase = append(erase, addr)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, erase
+}

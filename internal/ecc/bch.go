@@ -1,0 +1,322 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BCH is a systematic binary BCH code over GF(2^m), shortened to protect
+// DataBits of payload with correction capability T. This mirrors the
+// adaptable BCH codecs for NAND flash of the paper's refs [22][23], which
+// protect 1 KiB sectors with correction strengths up to ~40 bits.
+type BCH struct {
+	M        int // field degree
+	T        int // correction capability in bits
+	DataBits int // payload bits per codeword (shortened code)
+
+	gf         *GF
+	gen        []uint64 // generator polynomial, bit i = coeff of x^i
+	parityBits int
+}
+
+// NewBCH constructs a BCH code. dataBits plus parity must fit in the field
+// (n <= 2^m - 1).
+func NewBCH(m, dataBits, t int) (*BCH, error) {
+	if t < 1 {
+		return nil, errors.New("ecc: correction capability must be >= 1")
+	}
+	if dataBits < 1 {
+		return nil, errors.New("ecc: dataBits must be >= 1")
+	}
+	gf, err := NewGF(m)
+	if err != nil {
+		return nil, err
+	}
+	b := &BCH{M: m, T: t, DataBits: dataBits, gf: gf}
+
+	// Generator = LCM of minimal polynomials of alpha^1 .. alpha^2t.
+	// Track cyclotomic coset representatives to avoid duplicate factors.
+	seen := map[int]bool{}
+	gen := []uint64{1} // polynomial "1"
+	genDeg := 0
+	for i := 1; i <= 2*t; i++ {
+		// Coset representative: smallest element of {i*2^j mod N}.
+		rep := i % gf.N
+		c := rep
+		for {
+			c = (c * 2) % gf.N
+			if c == rep {
+				break
+			}
+			if c < rep {
+				rep = c
+			}
+		}
+		if seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		mp := gf.minimalPolynomial(i)
+		mpDeg := degreeOfSmall(mp)
+		gen = polyMulSmall(gen, genDeg, mp, mpDeg)
+		genDeg += mpDeg
+	}
+	b.gen = gen
+	b.parityBits = genDeg
+	if dataBits+genDeg > gf.N {
+		return nil, fmt.Errorf("ecc: code length %d exceeds field bound %d (m=%d, t=%d)",
+			dataBits+genDeg, gf.N, m, t)
+	}
+	return b, nil
+}
+
+// ParityBits returns the number of parity bits per codeword.
+func (b *BCH) ParityBits() int { return b.parityBits }
+
+// ParityBytes returns the parity size rounded up to whole bytes.
+func (b *BCH) ParityBytes() int { return (b.parityBits + 7) / 8 }
+
+// CodewordBits returns the shortened codeword length n.
+func (b *BCH) CodewordBits() int { return b.DataBits + b.parityBits }
+
+// degreeOfSmall returns the degree of a non-zero uint64 bit polynomial.
+func degreeOfSmall(p uint64) int {
+	d := -1
+	for i := 0; i < 64; i++ {
+		if p&(1<<uint(i)) != 0 {
+			d = i
+		}
+	}
+	return d
+}
+
+// polyMulSmall multiplies a large bit polynomial by a small (<=64-bit) one.
+func polyMulSmall(a []uint64, adeg int, b uint64, bdeg int) []uint64 {
+	words := (adeg + bdeg + 64) / 64
+	out := make([]uint64, words)
+	for shift := 0; shift <= bdeg; shift++ {
+		if b&(1<<uint(shift)) == 0 {
+			continue
+		}
+		wordShift, bitShift := shift/64, uint(shift%64)
+		for i, w := range a {
+			if w == 0 {
+				continue
+			}
+			out[i+wordShift] ^= w << bitShift
+			if bitShift != 0 && i+wordShift+1 < len(out) {
+				out[i+wordShift+1] ^= w >> (64 - bitShift)
+			}
+		}
+	}
+	return out
+}
+
+// getBit reads bit i (coefficient of x^i) from a bit array.
+func getBit(p []uint64, i int) int {
+	return int(p[i/64] >> (uint(i) % 64) & 1)
+}
+
+// setBit flips bit i in a bit array.
+func flipBit(p []uint64, i int) {
+	p[i/64] ^= 1 << (uint(i) % 64)
+}
+
+// dataBit returns data bit i (MSB-first within bytes); bits beyond len are 0.
+func dataBit(data []byte, i int) int {
+	byteIdx := i / 8
+	if byteIdx >= len(data) {
+		return 0
+	}
+	return int(data[byteIdx] >> (7 - uint(i)%8) & 1)
+}
+
+// Encode computes the parity for data (which must hold DataBits bits,
+// MSB-first). The returned slice has ParityBytes bytes, parity bits packed
+// MSB-first.
+func (b *BCH) Encode(data []byte) []byte {
+	r := b.parityBits
+	words := (r + 63) / 64
+	rem := make([]uint64, words)
+	topIdx := r - 1
+	for i := 0; i < b.DataBits; i++ {
+		feedback := dataBit(data, i) ^ getBit(rem, topIdx)
+		// Shift remainder left by one bit.
+		carry := uint64(0)
+		for w := 0; w < words; w++ {
+			next := rem[w] >> 63
+			rem[w] = rem[w]<<1 | carry
+			carry = next
+		}
+		// Keep within r bits.
+		if r%64 != 0 {
+			rem[words-1] &= (1 << uint(r%64)) - 1
+		}
+		if feedback == 1 {
+			for w := 0; w < words; w++ {
+				rem[w] ^= b.gen[w]
+			}
+			// gen has degree r: bit r of gen is 1 but shifted-out; mask
+			// handled because rem is r bits and gen's bit r aligns with
+			// the feedback bit already removed.
+			if r%64 != 0 {
+				rem[words-1] &= (1 << uint(r%64)) - 1
+			}
+		}
+	}
+	// Pack remainder MSB-first: parity bit j corresponds to coefficient
+	// x^(r-1-j).
+	out := make([]byte, b.ParityBytes())
+	for j := 0; j < r; j++ {
+		if getBit(rem, r-1-j) == 1 {
+			out[j/8] |= 1 << (7 - uint(j)%8)
+		}
+	}
+	return out
+}
+
+// Decode checks data+parity and corrects up to T bit errors in place (in
+// both data and parity). It returns the number of corrected bits, or an
+// error if the codeword is uncorrectable.
+func (b *BCH) Decode(data, parity []byte) (int, error) {
+	n := b.CodewordBits()
+	r := b.parityBits
+	words := (n + 63) / 64
+	// Assemble received polynomial: coefficient of x^(n-1-i) is the i-th
+	// transmitted bit (data MSB-first, then parity MSB-first).
+	rx := make([]uint64, words)
+	for i := 0; i < b.DataBits; i++ {
+		if dataBit(data, i) == 1 {
+			flipBit(rx, n-1-i)
+		}
+	}
+	for j := 0; j < r; j++ {
+		bit := int(parity[j/8] >> (7 - uint(j)%8) & 1)
+		if bit == 1 {
+			flipBit(rx, r-1-j)
+		}
+	}
+
+	// Syndromes S_e = r(alpha^e), e = 1..2T, via Horner from the top
+	// coefficient down.
+	syn := make([]uint16, 2*b.T+1)
+	anyNonZero := false
+	for e := 1; e <= 2*b.T; e++ {
+		ae := b.gf.Pow(e)
+		var s uint16
+		for j := n - 1; j >= 0; j-- {
+			s = b.gf.Mul(s, ae)
+			if getBit(rx, j) == 1 {
+				s ^= 1
+			}
+		}
+		syn[e] = s
+		if s != 0 {
+			anyNonZero = true
+		}
+	}
+	if !anyNonZero {
+		return 0, nil
+	}
+
+	sigma, err := b.berlekampMassey(syn)
+	if err != nil {
+		return 0, err
+	}
+	v := len(sigma) - 1 // number of errors located
+	if v > b.T {
+		return 0, errors.New("ecc: error count exceeds correction capability")
+	}
+
+	// Chien search: position j (coefficient of x^j) is in error iff
+	// sigma(alpha^{-j}) == 0.
+	positions := make([]int, 0, v)
+	for j := 0; j < n; j++ {
+		x := b.gf.Pow(-j)
+		var acc uint16
+		for d := v; d >= 0; d-- {
+			acc = b.gf.Mul(acc, x) ^ sigma[d]
+		}
+		if acc == 0 {
+			positions = append(positions, j)
+			if len(positions) == v {
+				break
+			}
+		}
+	}
+	if len(positions) != v {
+		return 0, errors.New("ecc: error locator roots outside codeword (uncorrectable)")
+	}
+
+	// Flip the erroneous bits back in the caller's buffers.
+	for _, j := range positions {
+		i := n - 1 - j // transmitted bit index
+		if i < b.DataBits {
+			data[i/8] ^= 1 << (7 - uint(i)%8)
+		} else {
+			p := i - b.DataBits
+			parity[p/8] ^= 1 << (7 - uint(p)%8)
+		}
+	}
+	return v, nil
+}
+
+// berlekampMassey computes the error-locator polynomial sigma from the
+// syndromes. sigma[0] is always 1.
+func (b *BCH) berlekampMassey(syn []uint16) ([]uint16, error) {
+	twoT := len(syn) - 1
+	sigma := []uint16{1}
+	prev := []uint16{1}
+	var l int     // current LFSR length
+	var m int = 1 // steps since last length change
+	var bDisc uint16 = 1
+
+	for i := 1; i <= twoT; i++ {
+		// Discrepancy d = S_i + sum_{j=1..l} sigma_j * S_{i-j}
+		d := syn[i]
+		for j := 1; j <= l && j < len(sigma); j++ {
+			d ^= b.gf.Mul(sigma[j], syn[i-j])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		// sigma' = sigma - (d/b) * x^m * prev
+		coef := b.gf.Div(d, bDisc)
+		next := make([]uint16, maxInt(len(sigma), len(prev)+m))
+		copy(next, sigma)
+		for j, p := range prev {
+			if p != 0 {
+				next[j+m] ^= b.gf.Mul(coef, p)
+			}
+		}
+		if 2*l <= i-1 {
+			prev = sigma
+			bDisc = d
+			l = i - l
+			m = 1
+		} else {
+			m++
+		}
+		sigma = next
+	}
+	// Trim trailing zeros.
+	deg := 0
+	for j := range sigma {
+		if sigma[j] != 0 {
+			deg = j
+		}
+	}
+	sigma = sigma[:deg+1]
+	if deg > b.T {
+		return nil, errors.New("ecc: locator degree exceeds capability")
+	}
+	return sigma, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

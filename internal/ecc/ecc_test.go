@@ -1,0 +1,432 @@
+package ecc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestGFBasics(t *testing.T) {
+	g, err := NewGF(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 8191 {
+		t.Fatalf("field size %d", g.N)
+	}
+	// alpha^N == 1
+	if g.Pow(g.N) != 1 {
+		t.Fatalf("alpha^N != 1")
+	}
+	// Multiplicative inverse property.
+	for _, a := range []uint16{1, 2, 3, 100, 8000} {
+		if g.Mul(a, g.Inv(a)) != 1 {
+			t.Fatalf("a * a^-1 != 1 for %d", a)
+		}
+	}
+	// Distributivity spot check via quick.
+	f := func(x, y, z uint16) bool {
+		a, b, c := x%uint16(g.N+1), y%uint16(g.N+1), z%uint16(g.N+1)
+		return g.Mul(a, b^c) == g.Mul(a, b)^g.Mul(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFUnsupportedDegree(t *testing.T) {
+	if _, err := NewGF(7); err == nil {
+		t.Fatal("expected unsupported degree error")
+	}
+}
+
+func TestMinimalPolynomialRoots(t *testing.T) {
+	g, _ := NewGF(10)
+	for _, i := range []int{1, 3, 5, 7} {
+		mp := g.minimalPolynomial(i)
+		// alpha^i must be a root: evaluate bit poly at alpha^i.
+		var acc uint16
+		x := g.Pow(i)
+		for d := 63; d >= 0; d-- {
+			acc = g.Mul(acc, x)
+			if mp&(1<<uint(d)) != 0 {
+				acc ^= 1
+			}
+		}
+		if acc != 0 {
+			t.Fatalf("alpha^%d not a root of its minimal polynomial %x", i, mp)
+		}
+	}
+}
+
+func newSmallBCH(t *testing.T) *BCH {
+	t.Helper()
+	// 512-bit payload, t=8, GF(2^10): n = 512+80 = 592 <= 1023.
+	b, err := NewBCH(10, 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBCHDimensions(t *testing.T) {
+	b := newSmallBCH(t)
+	if b.ParityBits() != 80 { // m*t = 10*8 when all cosets are full
+		t.Fatalf("parity bits %d", b.ParityBits())
+	}
+	if b.CodewordBits() != 592 {
+		t.Fatalf("codeword bits %d", b.CodewordBits())
+	}
+	if b.ParityBytes() != 10 {
+		t.Fatalf("parity bytes %d", b.ParityBytes())
+	}
+}
+
+func TestBCHNoErrors(t *testing.T) {
+	b := newSmallBCH(t)
+	rng := sim.NewRNG(1)
+	data := randBytes(rng, 64)
+	parity := b.Encode(data)
+	orig := append([]byte(nil), data...)
+	n, err := b.Decode(data, parity)
+	if err != nil || n != 0 {
+		t.Fatalf("clean decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatalf("clean decode modified data")
+	}
+}
+
+func TestBCHCorrectsUpToT(t *testing.T) {
+	b := newSmallBCH(t)
+	rng := sim.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		data := randBytes(rng, 64)
+		orig := append([]byte(nil), data...)
+		parity := b.Encode(data)
+		origParity := append([]byte(nil), parity...)
+
+		nErr := 1 + rng.Intn(b.T)
+		flipped := flipRandomBits(rng, data, parity, b, nErr)
+
+		n, err := b.Decode(data, parity)
+		if err != nil {
+			t.Fatalf("trial %d: decode failed with %d errors: %v", trial, flipped, err)
+		}
+		if n != flipped {
+			t.Fatalf("trial %d: corrected %d, injected %d", trial, n, flipped)
+		}
+		if !bytes.Equal(data, orig) || !bytes.Equal(parity, origParity) {
+			t.Fatalf("trial %d: data not restored", trial)
+		}
+	}
+}
+
+func TestBCHDetectsBeyondT(t *testing.T) {
+	b := newSmallBCH(t)
+	rng := sim.NewRNG(3)
+	detected := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		data := randBytes(rng, 64)
+		parity := b.Encode(data)
+		flipRandomBits(rng, data, parity, b, b.T+3)
+		if _, err := b.Decode(data, parity); err != nil {
+			detected++
+		}
+	}
+	// Beyond-capability patterns are usually detected (miscorrection is
+	// possible but rare); require a solid majority.
+	if detected < trials*7/10 {
+		t.Fatalf("only %d/%d overload cases detected", detected, trials)
+	}
+}
+
+func TestBCHParityErrorsCorrected(t *testing.T) {
+	b := newSmallBCH(t)
+	rng := sim.NewRNG(4)
+	data := randBytes(rng, 64)
+	parity := b.Encode(data)
+	origParity := append([]byte(nil), parity...)
+	// Flip bits only in parity.
+	parity[0] ^= 0x80
+	parity[5] ^= 0x01
+	n, err := b.Decode(data, parity)
+	if err != nil || n != 2 {
+		t.Fatalf("parity-error decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(parity, origParity) {
+		t.Fatalf("parity not restored")
+	}
+}
+
+func TestBCHNANDScaleCode(t *testing.T) {
+	// The production code: 1 KiB sectors, t=40, GF(2^14), as in the
+	// paper's refs [22][23].
+	b, err := NewBCH(14, 8192, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ParityBits() != 14*40 {
+		t.Fatalf("parity bits %d", b.ParityBits())
+	}
+	rng := sim.NewRNG(5)
+	data := randBytes(rng, 1024)
+	orig := append([]byte(nil), data...)
+	parity := b.Encode(data)
+	flipRandomBits(rng, data, parity, b, 40)
+	n, err := b.Decode(data, parity)
+	if err != nil || n != 40 {
+		t.Fatalf("t=40 decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatalf("data not restored at full correction load")
+	}
+}
+
+func TestBCHRejectsOversizedCode(t *testing.T) {
+	if _, err := NewBCH(10, 1024, 8); err == nil { // 1024+80 > 1023
+		t.Fatal("oversized code accepted")
+	}
+	if _, err := NewBCH(10, 512, 0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := NewBCH(10, 0, 4); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+// Property: encode-corrupt-decode restores the payload for any error count
+// within capability.
+func TestBCHRoundTripProperty(t *testing.T) {
+	b := newSmallBCH(t)
+	f := func(seed uint64, k uint8) bool {
+		rng := sim.NewRNG(seed)
+		nErr := int(k) % (b.T + 1) // 0..T
+		data := randBytes(rng, 64)
+		orig := append([]byte(nil), data...)
+		parity := b.Encode(data)
+		flipped := flipRandomBits(rng, data, parity, b, nErr)
+		n, err := b.Decode(data, parity)
+		if err != nil {
+			return false
+		}
+		return n == flipped && bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	for _, lm := range []LatencyModel{BitSerialLatency(), ByteParallelLatency()} {
+		if lm.Encode(40) <= 0 || lm.Decode(40) <= 0 {
+			t.Fatalf("%s: non-positive latency", lm.Name)
+		}
+		if lm.Decode(40) <= lm.Decode(8) {
+			t.Fatalf("%s: decode latency must grow with t", lm.Name)
+		}
+	}
+	// The paper's key claim: encode latency is "not substantially
+	// affected" by t, decode latency "heavily grows" with t.
+	lm := BitSerialLatency()
+	encGrowth := float64(lm.Encode(40)-lm.Encode(8)) / float64(lm.Encode(8))
+	decGrowth := float64(lm.Decode(40)-lm.Decode(8)) / float64(lm.Decode(8))
+	if encGrowth > 0.25 {
+		t.Fatalf("encode latency grows too much with t: %v", encGrowth)
+	}
+	if decGrowth < 1.0 {
+		t.Fatalf("decode latency growth too weak: %v", decGrowth)
+	}
+}
+
+func TestFixedScheme(t *testing.T) {
+	s := FixedBCH{T: 40, Lat: BitSerialLatency()}
+	if s.CorrectionAt(0) != 40 || s.CorrectionAt(1) != 40 {
+		t.Fatalf("fixed scheme must ignore wear")
+	}
+	if s.DecodeLatency(0) != s.DecodeLatency(1) {
+		t.Fatalf("fixed scheme latency must be wear-independent")
+	}
+}
+
+func testRBER(w float64) float64 { return 5e-5 * math.Exp(3.3*w) }
+
+func TestCorrectionTable(t *testing.T) {
+	tbl, err := BuildCorrectionTable(TableParams{
+		CodewordBits: 8192 + 560,
+		TMax:         40,
+		TStep:        4,
+		TargetCFR:    1e-15,
+		Buckets:      16,
+		RBER:         testRBER,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Ts) != 16 {
+		t.Fatalf("buckets %d", len(tbl.Ts))
+	}
+	// Monotone non-decreasing, within bounds, multiples of 4 (or TMax).
+	for i, v := range tbl.Ts {
+		if v < 4 || v > 40 {
+			t.Fatalf("bucket %d: t=%d out of range", i, v)
+		}
+		if v != 40 && v%4 != 0 {
+			t.Fatalf("bucket %d: t=%d not a step multiple", i, v)
+		}
+		if i > 0 && v < tbl.Ts[i-1] {
+			t.Fatalf("table not monotone at %d: %v", i, tbl.Ts)
+		}
+	}
+	// Fresh flash needs much less correction than end-of-life flash.
+	if tbl.Ts[0] >= tbl.Ts[15] {
+		t.Fatalf("no adaptivity: %v", tbl.Ts)
+	}
+	if tbl.Ts[15] != 40 {
+		t.Fatalf("end of life should need the full capability, got %d", tbl.Ts[15])
+	}
+}
+
+func TestAdaptiveScheme(t *testing.T) {
+	tbl, _ := BuildCorrectionTable(TableParams{
+		CodewordBits: 8752, TMax: 40, TStep: 4, TargetCFR: 1e-15, Buckets: 32, RBER: testRBER,
+	})
+	s := AdaptiveBCH{Table: tbl, Lat: BitSerialLatency()}
+	if s.DecodeLatency(0.05) >= s.DecodeLatency(0.95) {
+		t.Fatalf("adaptive decode latency must grow with wear")
+	}
+	// The central Fig. 5 relation: adaptive decodes faster than fixed
+	// except at end of life, where they converge.
+	fixed := FixedBCH{T: 40, Lat: BitSerialLatency()}
+	if s.DecodeLatency(0.1) >= fixed.DecodeLatency(0.1) {
+		t.Fatalf("adaptive not faster at low wear")
+	}
+	if s.DecodeLatency(0.99) != fixed.DecodeLatency(0.99) {
+		t.Fatalf("adaptive and fixed must converge at end of life")
+	}
+}
+
+func TestCorrectionTableEdges(t *testing.T) {
+	tbl := CorrectionTable{Ts: []int{8, 16, 24}}
+	if tbl.At(-1) != 8 || tbl.At(0) != 8 {
+		t.Fatalf("low edge")
+	}
+	if tbl.At(0.5) != 16 {
+		t.Fatalf("middle: %d", tbl.At(0.5))
+	}
+	if tbl.At(1.0) != 24 || tbl.At(5) != 24 {
+		t.Fatalf("high edge")
+	}
+	if (CorrectionTable{}).At(0.5) != 0 {
+		t.Fatalf("empty table")
+	}
+	if _, err := BuildCorrectionTable(TableParams{}); err == nil {
+		t.Fatalf("empty params accepted")
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// Sanity against known values: P(X > 0) = 1 - (1-p)^n.
+	n, p := 100, 0.01
+	want := 1 - math.Pow(1-p, float64(n))
+	got := binomialTail(n, p, 0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("tail(>0) = %v want %v", got, want)
+	}
+	if binomialTail(n, 0, 5) != 0 || binomialTail(n, 1, 5) != 1 {
+		t.Fatalf("degenerate p")
+	}
+	if binomialTail(10, 0.5, 10) != 0 {
+		t.Fatalf("t >= n must give 0")
+	}
+	// Monotone in t.
+	if binomialTail(1000, 0.001, 2) <= binomialTail(1000, 0.001, 5) {
+		t.Fatalf("tail not decreasing in t")
+	}
+}
+
+// --- helpers ---
+
+func randBytes(rng *sim.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+// flipRandomBits flips nErr distinct random bits across data+parity,
+// returning the number flipped.
+func flipRandomBits(rng *sim.RNG, data, parity []byte, b *BCH, nErr int) int {
+	total := b.DataBits + b.ParityBits()
+	seen := map[int]bool{}
+	for len(seen) < nErr {
+		i := rng.Intn(total)
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		if i < b.DataBits {
+			data[i/8] ^= 1 << (7 - uint(i)%8)
+		} else {
+			p := i - b.DataBits
+			parity[p/8] ^= 1 << (7 - uint(p)%8)
+		}
+	}
+	return len(seen)
+}
+
+// TestTableStrengthSufficientForRBER cross-validates the adaptive table
+// against the real codec: at each wear bucket, inject errors at the expected
+// count for that wear's RBER and verify the table's chosen strength corrects
+// them. This grounds the parametric latency scheme in functional reality.
+func TestTableStrengthSufficientForRBER(t *testing.T) {
+	if testing.Short() {
+		t.Skip("codec construction is slow in short mode")
+	}
+	tbl, err := BuildCorrectionTable(TableParams{
+		CodewordBits: 512 + 80, // match the small test codec
+		TMax:         8,
+		TStep:        2,
+		TargetCFR:    1e-12,
+		Buckets:      8,
+		RBER:         func(w float64) float64 { return 2e-4 * math.Exp(3.0*w) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(42)
+	for _, wear := range []float64{0.1, 0.6, 0.95} {
+		tw := tbl.At(wear)
+		b, err := NewBCH(10, 512, tw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rber := 2e-4 * math.Exp(3.0*wear)
+		expected := int(rber * float64(b.CodewordBits()))
+		if expected < 1 {
+			expected = 1
+		}
+		// The table provisions for tail events, so the expected error
+		// count must sit comfortably within the chosen strength.
+		if expected > tw {
+			t.Fatalf("wear %v: expected %d errors exceeds chosen t=%d", wear, expected, tw)
+		}
+		for trial := 0; trial < 5; trial++ {
+			data := randBytes(rng, 64)
+			orig := append([]byte(nil), data...)
+			parity := b.Encode(data)
+			flipRandomBits(rng, data, parity, b, expected)
+			if _, err := b.Decode(data, parity); err != nil {
+				t.Fatalf("wear %v t=%d: decode failed at expected load: %v", wear, tw, err)
+			}
+			if !bytes.Equal(data, orig) {
+				t.Fatalf("wear %v: data not restored", wear)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package ecc implements the SSD's error-correction subsystem. The paper
+// treats ECC as a parametric time-delay component (§III-D2) whose encode and
+// decode latencies — not its logic — shape SSD performance, and compares a
+// fixed 40-bit BCH against an adaptive BCH whose correction strength follows
+// a static P/E-cycle table (§IV-B, refs [22][23]). This package provides
+// both the parametric latency schemes used by the simulator and a real
+// binary BCH encoder/decoder over GF(2^m) that grounds the latency model
+// and validates correction-capability claims in tests.
+package ecc
+
+import "fmt"
+
+// primitivePolys maps field degree m to a primitive polynomial (bit i set =
+// coefficient of x^i), suitable for generating GF(2^m).
+var primitivePolys = map[int]uint32{
+	8:  0x11D,  // x^8+x^4+x^3+x^2+1
+	10: 0x409,  // x^10+x^3+1
+	12: 0x1053, // x^12+x^6+x^4+x+1
+	13: 0x201B, // x^13+x^4+x^3+x+1
+	14: 0x4443, // x^14+x^10+x^6+x+1
+}
+
+// GF is the Galois field GF(2^m) with exp/log tables.
+type GF struct {
+	M    int
+	N    int // field size - 1 = 2^m - 1
+	exp  []uint16
+	logT []uint16
+}
+
+// NewGF builds GF(2^m) for a supported m.
+func NewGF(m int) (*GF, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("ecc: unsupported field degree %d", m)
+	}
+	n := (1 << m) - 1
+	g := &GF{M: m, N: n}
+	g.exp = make([]uint16, 2*n)
+	g.logT = make([]uint16, n+1)
+	x := uint32(1)
+	for i := 0; i < n; i++ {
+		g.exp[i] = uint16(x)
+		g.logT[x] = uint16(i)
+		x <<= 1
+		if x&(1<<m) != 0 {
+			x ^= poly
+		}
+	}
+	// Duplicate the table so Mul can skip a modulo.
+	copy(g.exp[n:], g.exp[:n])
+	return g, nil
+}
+
+// Mul multiplies two field elements.
+func (g *GF) Mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return g.exp[int(g.logT[a])+int(g.logT[b])]
+}
+
+// Div divides a by b (b must be non-zero).
+func (g *GF) Div(a, b uint16) uint16 {
+	if b == 0 {
+		panic("ecc: division by zero in GF")
+	}
+	if a == 0 {
+		return 0
+	}
+	return g.exp[int(g.logT[a])+g.N-int(g.logT[b])]
+}
+
+// Inv returns the multiplicative inverse of a non-zero element.
+func (g *GF) Inv(a uint16) uint16 {
+	if a == 0 {
+		panic("ecc: inverse of zero in GF")
+	}
+	return g.exp[g.N-int(g.logT[a])]
+}
+
+// Pow returns alpha^e for the primitive element alpha.
+func (g *GF) Pow(e int) uint16 {
+	e %= g.N
+	if e < 0 {
+		e += g.N
+	}
+	return g.exp[e]
+}
+
+// Log returns the discrete log of a non-zero element.
+func (g *GF) Log(a uint16) int {
+	if a == 0 {
+		panic("ecc: log of zero in GF")
+	}
+	return int(g.logT[a])
+}
+
+// minimalPolynomial returns the minimal polynomial of alpha^i as a bit
+// polynomial over GF(2) (bit j = coefficient of x^j).
+func (g *GF) minimalPolynomial(i int) uint64 {
+	// Collect the cyclotomic coset of i mod N.
+	coset := map[int]bool{}
+	c := i % g.N
+	for !coset[c] {
+		coset[c] = true
+		c = (c * 2) % g.N
+	}
+	// poly = product over coset of (x - alpha^c), computed with GF
+	// coefficients; the result has GF(2) coefficients.
+	coeffs := []uint16{1} // degree 0
+	for c := range coset {
+		root := g.Pow(c)
+		next := make([]uint16, len(coeffs)+1)
+		for j, co := range coeffs {
+			next[j+1] ^= co            // x * co
+			next[j] ^= g.Mul(co, root) // -root * co (char 2: minus = plus)
+		}
+		coeffs = next
+	}
+	var poly uint64
+	for j, co := range coeffs {
+		if co == 1 {
+			poly |= 1 << uint(j)
+		} else if co != 0 {
+			panic("ecc: minimal polynomial has non-binary coefficient")
+		}
+	}
+	return poly
+}

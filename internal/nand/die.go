@@ -1,0 +1,332 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Errors reported by the die state machine. A correct channel controller
+// never triggers these; they exist to catch protocol violations in tests.
+var (
+	ErrBusy           = errors.New("nand: die busy (RB# low)")
+	ErrNotErased      = errors.New("nand: programming a page that is not erased")
+	ErrOutOfOrder     = errors.New("nand: pages within a block must be programmed in order")
+	ErrNotProgrammed  = errors.New("nand: reading an unwritten page")
+	ErrPlaneMismatch  = errors.New("nand: multi-plane operation needs distinct planes, same block/page offsets")
+	ErrBadAddress     = errors.New("nand: address outside geometry")
+	ErrNothingToErase = errors.New("nand: erase of already-erased block")
+)
+
+// pageState tracks the programmed/erased condition of one page.
+type pageState uint8
+
+const (
+	pageErased pageState = iota
+	pageProgrammed
+)
+
+// block holds per-block wear and page-state bookkeeping. The pages slice is
+// allocated lazily on first program: large platforms (Table III C8 has 8192
+// dies) would otherwise spend gigabytes on state for blocks a benchmark
+// never touches.
+type block struct {
+	pages    []pageState // nil = fully erased, never-touched block
+	nextPage int         // enforced sequential programming (MLC constraint)
+	peCycles int64       // program/erase count
+}
+
+// state returns the page state, treating untouched blocks as erased.
+func (b *block) state(page int) pageState {
+	if b.pages == nil {
+		return pageErased
+	}
+	return b.pages[page]
+}
+
+// ensure materialises the page array.
+func (b *block) ensure(n int) {
+	if b.pages == nil {
+		b.pages = make([]pageState, n)
+	}
+}
+
+// plane is a set of blocks sharing a page register.
+type plane struct {
+	blocks []block
+}
+
+// Stats aggregates operation counters for one die.
+type Stats struct {
+	Reads      uint64
+	Programs   uint64
+	Erases     uint64
+	BusyTime   sim.Time
+	MultiPlane uint64
+}
+
+// Die is the cycle-accurate model of one NAND die: a state machine that is
+// either ready (RB# high) or busy executing exactly one array operation.
+// Data movement over the shared channel bus is *not* modelled here — the
+// channel/way controller serialises bus occupancy; the die only accounts
+// for array time, which is what overlaps across dies to create the
+// parallelism the paper's exploration experiments quantify.
+type Die struct {
+	ID  int
+	geo Geometry
+	tim Timing
+	k   *sim.Kernel
+	rng *sim.RNG
+
+	planes    []plane
+	busyUntil sim.Time
+
+	Stats Stats
+}
+
+// NewDie builds a die. rng drives timing jitter; pass a forked stream so
+// dies vary independently (die-to-die variation).
+func NewDie(k *sim.Kernel, id int, geo Geometry, tim Timing, rng *sim.RNG) (*Die, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tim.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Die{ID: id, geo: geo, tim: tim, k: k, rng: rng}
+	d.planes = make([]plane, geo.PlanesPerDie)
+	for p := range d.planes {
+		d.planes[p].blocks = make([]block, geo.BlocksPerPlane)
+	}
+	return d, nil
+}
+
+// Geometry returns the die geometry.
+func (d *Die) Geometry() Geometry { return d.geo }
+
+// Timing returns the die timing profile.
+func (d *Die) Timing() Timing { return d.tim }
+
+// Ready reports whether the die can accept a new array operation now
+// (the RB# pin in ONFI terms).
+func (d *Die) Ready() bool { return d.k.Now() >= d.busyUntil }
+
+// ReadyAt returns the time at which the die becomes ready.
+func (d *Die) ReadyAt() sim.Time { return d.busyUntil }
+
+// jitter applies the profile's uniform timing variability.
+func (d *Die) jitter(t sim.Time) sim.Time {
+	if d.tim.JitterPct <= 0 || d.rng == nil {
+		return t
+	}
+	span := float64(t) * d.tim.JitterPct
+	return t + sim.Time((d.rng.Float64()*2-1)*span)
+}
+
+// wearOf returns the normalised wear of a block.
+func (d *Die) wearOf(p, b int) float64 {
+	return float64(d.planes[p].blocks[b].peCycles) / float64(d.tim.RatedPE)
+}
+
+// BlockPE returns the program/erase cycle count of a block.
+func (d *Die) BlockPE(planeIdx, blockIdx int) int64 {
+	return d.planes[planeIdx].blocks[blockIdx].peCycles
+}
+
+// AvgWear returns the mean normalised wear across all blocks.
+func (d *Die) AvgWear() float64 {
+	var total int64
+	var n int64
+	for p := range d.planes {
+		for b := range d.planes[p].blocks {
+			total += d.planes[p].blocks[b].peCycles
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n) / float64(d.tim.RatedPE)
+}
+
+// SetWear forces every block's P/E count to w*RatedPE. The wear-out
+// experiment (Fig. 5) uses this to sample the endurance axis directly
+// instead of replaying thousands of full-drive writes.
+func (d *Die) SetWear(w float64) {
+	pe := int64(w * float64(d.tim.RatedPE))
+	for p := range d.planes {
+		for b := range d.planes[p].blocks {
+			d.planes[p].blocks[b].peCycles = pe
+		}
+	}
+}
+
+// RBERAt returns the raw bit error rate of a block at its current wear.
+func (d *Die) RBERAt(planeIdx, blockIdx int) float64 {
+	return d.tim.RBER(d.wearOf(planeIdx, blockIdx))
+}
+
+// begin marks the die busy for dur and schedules done at completion. A
+// completion event is always scheduled (even with a nil callback) so that
+// simulated time provably advances past every array operation.
+func (d *Die) begin(dur sim.Time, done func()) {
+	now := d.k.Now()
+	d.busyUntil = now + dur
+	d.Stats.BusyTime += dur
+	if done == nil {
+		done = func() {}
+	}
+	d.k.At(d.busyUntil, done)
+}
+
+// Read senses a page into the plane register (tR). done fires when the data
+// is ready for bus transfer. Returns the array time used.
+func (d *Die) Read(a Addr, done func()) (sim.Time, error) {
+	if err := a.Check(d.geo); err != nil {
+		return 0, ErrBadAddress
+	}
+	if !d.Ready() {
+		return 0, ErrBusy
+	}
+	blk := &d.planes[a.Plane].blocks[a.Block]
+	if blk.state(a.Page) != pageProgrammed {
+		return 0, ErrNotProgrammed
+	}
+	dur := d.jitter(d.tim.TReadArray)
+	d.Stats.Reads++
+	d.begin(dur, done)
+	return dur, nil
+}
+
+// Program commits the page register to the array (tPROG). done fires when
+// the die returns to ready. Pages in a block must be programmed in order and
+// only after erase, per MLC constraints.
+func (d *Die) Program(a Addr, done func()) (sim.Time, error) {
+	if err := a.Check(d.geo); err != nil {
+		return 0, ErrBadAddress
+	}
+	if !d.Ready() {
+		return 0, ErrBusy
+	}
+	blk := &d.planes[a.Plane].blocks[a.Block]
+	if blk.state(a.Page) == pageProgrammed {
+		return 0, ErrNotErased
+	}
+	if a.Page != blk.nextPage {
+		return 0, ErrOutOfOrder
+	}
+	wear := d.wearOf(a.Plane, a.Block)
+	dur := d.jitter(d.tim.ProgTimeAt(a.Page, wear))
+	blk.ensure(d.geo.PagesPerBlock)
+	blk.pages[a.Page] = pageProgrammed
+	blk.nextPage++
+	d.Stats.Programs++
+	d.begin(dur, done)
+	return dur, nil
+}
+
+// MultiPlaneProgram programs one page in each of several planes
+// concurrently; the die is busy for the slowest plane's tPROG. Addresses
+// must target distinct planes at the same block/page offsets (ONFI
+// multi-plane addressing restriction).
+func (d *Die) MultiPlaneProgram(addrs []Addr, done func()) (sim.Time, error) {
+	if len(addrs) == 0 {
+		return 0, ErrBadAddress
+	}
+	if len(addrs) == 1 {
+		return d.Program(addrs[0], done)
+	}
+	if !d.Ready() {
+		return 0, ErrBusy
+	}
+	seen := make(map[int]bool, len(addrs))
+	for _, a := range addrs {
+		if err := a.Check(d.geo); err != nil {
+			return 0, ErrBadAddress
+		}
+		if seen[a.Plane] {
+			return 0, ErrPlaneMismatch
+		}
+		seen[a.Plane] = true
+		if a.Block != addrs[0].Block || a.Page != addrs[0].Page {
+			return 0, ErrPlaneMismatch
+		}
+		blk := &d.planes[a.Plane].blocks[a.Block]
+		if blk.state(a.Page) == pageProgrammed {
+			return 0, ErrNotErased
+		}
+		if a.Page != blk.nextPage {
+			return 0, ErrOutOfOrder
+		}
+	}
+	var dur sim.Time
+	for _, a := range addrs {
+		blk := &d.planes[a.Plane].blocks[a.Block]
+		blk.ensure(d.geo.PagesPerBlock)
+		blk.pages[a.Page] = pageProgrammed
+		blk.nextPage++
+		wear := d.wearOf(a.Plane, a.Block)
+		t := d.jitter(d.tim.ProgTimeAt(a.Page, wear))
+		if t > dur {
+			dur = t
+		}
+		d.Stats.Programs++
+	}
+	d.Stats.MultiPlane++
+	d.begin(dur, done)
+	return dur, nil
+}
+
+// EraseBlock erases a whole block (tBERS) and increments its P/E count.
+func (d *Die) EraseBlock(planeIdx, blockIdx int, done func()) (sim.Time, error) {
+	if planeIdx < 0 || planeIdx >= d.geo.PlanesPerDie ||
+		blockIdx < 0 || blockIdx >= d.geo.BlocksPerPlane {
+		return 0, ErrBadAddress
+	}
+	if !d.Ready() {
+		return 0, ErrBusy
+	}
+	blk := &d.planes[planeIdx].blocks[blockIdx]
+	wear := d.wearOf(planeIdx, blockIdx)
+	dur := d.jitter(d.tim.EraseTimeAt(wear))
+	for p := range blk.pages { // nil for never-touched blocks
+		blk.pages[p] = pageErased
+	}
+	blk.nextPage = 0
+	blk.peCycles++
+	d.Stats.Erases++
+	d.begin(dur, done)
+	return dur, nil
+}
+
+// Preload marks a page as programmed without consuming simulated time or
+// bus cycles. Platforms use it to model a drive that already contains data
+// before a read workload starts (IOZone reads follow writes; re-simulating
+// the fill would only waste wall-clock time).
+func (d *Die) Preload(a Addr) error {
+	if err := a.Check(d.geo); err != nil {
+		return ErrBadAddress
+	}
+	blk := &d.planes[a.Plane].blocks[a.Block]
+	blk.ensure(d.geo.PagesPerBlock)
+	blk.pages[a.Page] = pageProgrammed
+	if a.Page >= blk.nextPage {
+		blk.nextPage = a.Page + 1
+	}
+	return nil
+}
+
+// PageProgrammed reports whether a page currently holds data.
+func (d *Die) PageProgrammed(a Addr) (bool, error) {
+	if err := a.Check(d.geo); err != nil {
+		return false, ErrBadAddress
+	}
+	return d.planes[a.Plane].blocks[a.Block].state(a.Page) == pageProgrammed, nil
+}
+
+// String summarises the die for diagnostics.
+func (d *Die) String() string {
+	return fmt.Sprintf("die%d[%dpl x %dblk x %dpg, busyUntil=%v]",
+		d.ID, d.geo.PlanesPerDie, d.geo.BlocksPerPlane, d.geo.PagesPerBlock, d.busyUntil)
+}

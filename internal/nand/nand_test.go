@@ -1,0 +1,451 @@
+package nand
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newTestDie(t *testing.T) (*sim.Kernel, *Die) {
+	t.Helper()
+	k := sim.NewKernel()
+	tim := ProfileExplore()
+	tim.JitterPct = 0 // deterministic timing for assertions
+	d, err := NewDie(k, 0, SmallGeometry(), tim, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, d
+}
+
+func TestGeometryCapacity(t *testing.T) {
+	g := DefaultGeometry()
+	if g.PagesPerDie() != 2*2048*128 {
+		t.Fatalf("pages per die %d", g.PagesPerDie())
+	}
+	if g.DieBytes() != 2*2048*128*4096 {
+		t.Fatalf("die bytes %d", g.DieBytes())
+	}
+	if g.RawPageBytes() != 4096+224 {
+		t.Fatalf("raw page %d", g.RawPageBytes())
+	}
+}
+
+func TestTimingProfiles(t *testing.T) {
+	for _, tim := range []Timing{ProfileExplore(), ProfileVertex()} {
+		if err := tim.Validate(); err != nil {
+			t.Fatalf("profile invalid: %v", err)
+		}
+	}
+	e := ProfileExplore()
+	if mb := e.BusMBps(); mb < 24 || mb > 26 {
+		t.Fatalf("explore bus rate %v MB/s, want ~25", mb)
+	}
+	v := ProfileVertex()
+	if mb := v.BusMBps(); mb < 160 || mb > 172 {
+		t.Fatalf("vertex bus rate %v MB/s, want ~166", mb)
+	}
+	if v.DataTransferTime(4096) != 4096*6*sim.Nanosecond {
+		t.Fatalf("transfer time wrong")
+	}
+	if e.CommandOverhead() != (2+5)*40*sim.Nanosecond {
+		t.Fatalf("command overhead %v", e.CommandOverhead())
+	}
+}
+
+func TestProgramReadEraseCycle(t *testing.T) {
+	k, d := newTestDie(t)
+	a := Addr{Plane: 0, Block: 3, Page: 0}
+
+	// Reading an unwritten page is a protocol violation.
+	if _, err := d.Read(a, nil); err != ErrNotProgrammed {
+		t.Fatalf("read unwritten: %v", err)
+	}
+
+	done := false
+	dur, err := d.Program(a, func() { done = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur != 3*sim.Millisecond {
+		t.Fatalf("tPROG = %v", dur)
+	}
+	if d.Ready() {
+		t.Fatalf("die should be busy during program")
+	}
+	k.RunAll()
+	if !done || !d.Ready() {
+		t.Fatalf("program completion not signalled")
+	}
+
+	if ok, _ := d.PageProgrammed(a); !ok {
+		t.Fatalf("page not marked programmed")
+	}
+
+	rd := false
+	rdur, err := d.Read(a, func() { rd = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdur != 60*sim.Microsecond {
+		t.Fatalf("tREAD = %v", rdur)
+	}
+	k.RunAll()
+	if !rd {
+		t.Fatalf("read completion not signalled")
+	}
+
+	// Rewrite without erase must fail.
+	if _, err := d.Program(a, nil); err != ErrNotErased {
+		t.Fatalf("overwrite: %v", err)
+	}
+
+	if _, err := d.EraseBlock(0, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.RunAll()
+	if d.BlockPE(0, 3) != 1 {
+		t.Fatalf("PE count %d", d.BlockPE(0, 3))
+	}
+	if ok, _ := d.PageProgrammed(a); ok {
+		t.Fatalf("erase did not clear page")
+	}
+	if _, err := d.Program(a, nil); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+}
+
+func TestSequentialProgramConstraint(t *testing.T) {
+	k, d := newTestDie(t)
+	// Page 1 before page 0 violates MLC ordering.
+	if _, err := d.Program(Addr{0, 0, 1}, nil); err != ErrOutOfOrder {
+		t.Fatalf("out of order: %v", err)
+	}
+	if _, err := d.Program(Addr{0, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.RunAll()
+	if _, err := d.Program(Addr{0, 0, 1}, nil); err != nil {
+		t.Fatalf("in-order program failed: %v", err)
+	}
+	k.RunAll()
+}
+
+func TestBusyRejection(t *testing.T) {
+	k, d := newTestDie(t)
+	if _, err := d.Program(Addr{0, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(Addr{0, 1, 0}, nil); err != ErrBusy {
+		t.Fatalf("busy program: %v", err)
+	}
+	if _, err := d.Read(Addr{0, 0, 0}, nil); err != ErrBusy {
+		t.Fatalf("busy read: %v", err)
+	}
+	if _, err := d.EraseBlock(0, 0, nil); err != ErrBusy {
+		t.Fatalf("busy erase: %v", err)
+	}
+	k.RunAll()
+}
+
+func TestMLCPageTimes(t *testing.T) {
+	tim := ProfileVertex()
+	if tim.ProgTimeAt(0, 0) != 900*sim.Microsecond {
+		t.Fatalf("lower page time %v", tim.ProgTimeAt(0, 0))
+	}
+	if tim.ProgTimeAt(1, 0) != 2400*sim.Microsecond {
+		t.Fatalf("upper page time %v", tim.ProgTimeAt(1, 0))
+	}
+	// Wear accelerates programming.
+	if tim.ProgTimeAt(0, 1.0) >= tim.ProgTimeAt(0, 0) {
+		t.Fatalf("wear should shorten tPROG")
+	}
+}
+
+func TestMultiPlaneProgram(t *testing.T) {
+	k, d := newTestDie(t)
+	addrs := []Addr{{0, 5, 0}, {1, 5, 0}}
+	dur, err := d.MultiPlaneProgram(addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur != 3*sim.Millisecond {
+		t.Fatalf("multi-plane duration %v", dur)
+	}
+	k.RunAll()
+	if d.Stats.Programs != 2 || d.Stats.MultiPlane != 1 {
+		t.Fatalf("stats %+v", d.Stats)
+	}
+	for _, a := range addrs {
+		if ok, _ := d.PageProgrammed(a); !ok {
+			t.Fatalf("plane %d not programmed", a.Plane)
+		}
+	}
+
+	// Same plane twice is illegal.
+	if _, err := d.MultiPlaneProgram([]Addr{{0, 6, 0}, {0, 7, 0}}, nil); err != ErrPlaneMismatch {
+		t.Fatalf("same-plane: %v", err)
+	}
+	// Mismatched offsets are illegal.
+	if _, err := d.MultiPlaneProgram([]Addr{{0, 6, 0}, {1, 7, 0}}, nil); err != ErrPlaneMismatch {
+		t.Fatalf("offset mismatch: %v", err)
+	}
+}
+
+func TestWearModel(t *testing.T) {
+	tim := ProfileExplore()
+	if tim.RBER(0) >= tim.RBER(0.5) || tim.RBER(0.5) >= tim.RBER(1.0) {
+		t.Fatalf("RBER must grow with wear")
+	}
+	if tim.RBER(-1) != tim.RBER(0) {
+		t.Fatalf("negative wear should clamp")
+	}
+	if tim.EraseTimeAt(1.0) <= tim.EraseTimeAt(0) {
+		t.Fatalf("erase should slow with wear")
+	}
+	if tim.EraseTimeAt(100) > tim.TBersMax {
+		t.Fatalf("erase exceeds ceiling")
+	}
+}
+
+func TestSetWear(t *testing.T) {
+	_, d := newTestDie(t)
+	d.SetWear(0.5)
+	if got := d.AvgWear(); got < 0.49 || got > 0.51 {
+		t.Fatalf("avg wear %v", got)
+	}
+	if d.BlockPE(0, 0) != 1500 {
+		t.Fatalf("block PE %d", d.BlockPE(0, 0))
+	}
+	if d.RBERAt(0, 0) <= d.Timing().RBER0 {
+		t.Fatalf("RBER did not rise with wear")
+	}
+}
+
+func TestEraseWearAccumulation(t *testing.T) {
+	k, d := newTestDie(t)
+	for i := 0; i < 5; i++ {
+		if _, err := d.EraseBlock(1, 2, nil); err != nil {
+			t.Fatal(err)
+		}
+		k.RunAll()
+	}
+	if d.BlockPE(1, 2) != 5 {
+		t.Fatalf("PE %d", d.BlockPE(1, 2))
+	}
+	if d.Stats.Erases != 5 {
+		t.Fatalf("erase stat %d", d.Stats.Erases)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	k := sim.NewKernel()
+	tim := ProfileExplore()
+	tim.JitterPct = 0.05
+	d, err := NewDie(k, 0, SmallGeometry(), tim, sim.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := sim.Time(float64(3*sim.Millisecond) * 0.949)
+	hi := sim.Time(float64(3*sim.Millisecond) * 1.051)
+	block := 0
+	page := 0
+	for i := 0; i < 50; i++ {
+		dur, err := d.Program(Addr{0, block, page}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dur < lo || dur > hi {
+			t.Fatalf("jittered tPROG %v outside [%v, %v]", dur, lo, hi)
+		}
+		k.RunAll()
+		page++
+		if page == SmallGeometry().PagesPerBlock {
+			page = 0
+			block++
+		}
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	_, d := newTestDie(t)
+	bad := []Addr{
+		{Plane: -1}, {Plane: 99},
+		{Block: -1}, {Block: 99},
+		{Page: -1}, {Page: 99},
+	}
+	for _, a := range bad {
+		if _, err := d.Program(a, nil); err != ErrBadAddress {
+			t.Errorf("addr %+v: %v", a, err)
+		}
+	}
+	if _, err := d.EraseBlock(5, 0, nil); err != ErrBadAddress {
+		t.Errorf("erase bad plane: %v", err)
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	k, d := newTestDie(t)
+	d.Program(Addr{0, 0, 0}, nil)
+	k.RunAll()
+	d.Read(Addr{0, 0, 0}, nil)
+	k.RunAll()
+	want := 3*sim.Millisecond + 60*sim.Microsecond
+	if d.Stats.BusyTime != want {
+		t.Fatalf("busy time %v want %v", d.Stats.BusyTime, want)
+	}
+}
+
+// Property: for any sequence of erase counts, RBER is monotonic in wear and
+// program time is monotonic non-increasing in wear.
+func TestWearMonotonicityProperty(t *testing.T) {
+	tim := ProfileExplore()
+	f := func(a, b uint16) bool {
+		w1 := float64(a%1000) / 1000
+		w2 := float64(b%1000) / 1000
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		if tim.RBER(w1) > tim.RBER(w2) {
+			return false
+		}
+		if tim.ProgTimeAt(0, w1) < tim.ProgTimeAt(0, w2) {
+			return false
+		}
+		return tim.EraseTimeAt(w1) <= tim.EraseTimeAt(w2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random legal op sequence never corrupts the page state
+// machine: programmed set matches a shadow model.
+func TestStateMachineShadowProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		k := sim.NewKernel()
+		tim := ProfileExplore()
+		tim.JitterPct = 0
+		d, err := NewDie(k, 0, SmallGeometry(), tim, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed)
+		geo := SmallGeometry()
+		type key struct{ p, b, pg int }
+		shadow := map[key]bool{}
+		nextPage := map[[2]int]int{}
+		for step := 0; step < 200; step++ {
+			p := rng.Intn(geo.PlanesPerDie)
+			b := rng.Intn(geo.BlocksPerPlane)
+			switch rng.Intn(3) {
+			case 0: // program next page in block
+				pg := nextPage[[2]int{p, b}]
+				if pg >= geo.PagesPerBlock {
+					continue
+				}
+				if _, err := d.Program(Addr{p, b, pg}, nil); err != nil {
+					return false
+				}
+				shadow[key{p, b, pg}] = true
+				nextPage[[2]int{p, b}] = pg + 1
+			case 1: // read a programmed page if any
+				pg := rng.Intn(geo.PagesPerBlock)
+				want := shadow[key{p, b, pg}]
+				_, err := d.Read(Addr{p, b, pg}, nil)
+				if want && err != nil {
+					return false
+				}
+				if !want && err != ErrNotProgrammed {
+					return false
+				}
+			case 2: // erase
+				if _, err := d.EraseBlock(p, b, nil); err != nil {
+					return false
+				}
+				for pg := 0; pg < geo.PagesPerBlock; pg++ {
+					delete(shadow, key{p, b, pg})
+				}
+				nextPage[[2]int{p, b}] = 0
+			}
+			k.RunAll()
+		}
+		// Cross-check full state.
+		for p := 0; p < geo.PlanesPerDie; p++ {
+			for b := 0; b < geo.BlocksPerPlane; b++ {
+				for pg := 0; pg < geo.PagesPerBlock; pg++ {
+					got, _ := d.PageProgrammed(Addr{p, b, pg})
+					if got != shadow[key{p, b, pg}] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	k, d := newTestDie(t)
+	a := Addr{Plane: 1, Block: 4, Page: 3}
+	if err := d.Preload(a); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := d.PageProgrammed(a); !ok {
+		t.Fatal("preloaded page not programmed")
+	}
+	// Preload consumes no simulated time.
+	if k.Now() != 0 {
+		t.Fatalf("preload advanced time to %v", k.Now())
+	}
+	// Reads of preloaded pages work normally.
+	if _, err := d.Read(a, nil); err != nil {
+		t.Fatalf("read of preloaded page: %v", err)
+	}
+	k.RunAll()
+	if err := d.Preload(Addr{Plane: 9}); err != ErrBadAddress {
+		t.Fatalf("bad preload: %v", err)
+	}
+}
+
+func TestPreloadAdvancesWriteFrontier(t *testing.T) {
+	k, d := newTestDie(t)
+	d.Preload(Addr{Plane: 0, Block: 0, Page: 5})
+	// Next legal program on that block is page 6.
+	if _, err := d.Program(Addr{0, 0, 6}, nil); err != nil {
+		t.Fatalf("program after preload frontier: %v", err)
+	}
+	k.RunAll()
+	if _, err := d.Program(Addr{0, 0, 3}, nil); err != ErrOutOfOrder {
+		t.Fatalf("program behind preload frontier: %v", err)
+	}
+}
+
+func TestLazyStateMemory(t *testing.T) {
+	// Building a die must not materialise page arrays for untouched blocks;
+	// touching one block materialises only that block.
+	k := sim.NewKernel()
+	d, err := NewDie(k, 0, DefaultGeometry(), ProfileExplore(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.planes[0].blocks[100].pages != nil {
+		t.Fatal("untouched block materialised")
+	}
+	d.Program(Addr{0, 100, 0}, nil)
+	k.RunAll()
+	if d.planes[0].blocks[100].pages == nil {
+		t.Fatal("programmed block not materialised")
+	}
+	if d.planes[0].blocks[101].pages != nil {
+		t.Fatal("neighbour block materialised")
+	}
+	// Reading an untouched block reports erased, not a crash.
+	if ok, _ := d.PageProgrammed(Addr{0, 500, 0}); ok {
+		t.Fatal("untouched block reads programmed")
+	}
+}

@@ -1,0 +1,240 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// SSDExplorer model. It substitutes for the SystemC kernel the paper builds
+// on: picosecond-resolution simulated time, a deterministic ordered event
+// queue, clock domains for cycle-edge alignment, and simple server/queue
+// primitives for modeling shared hardware resources.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in picoseconds. int64 picoseconds cover
+// about 106 days of simulated time, far beyond any SSD benchmark run.
+type Time int64
+
+// Duration helpers. All models express delays through these so the unit
+// convention is kept in one place.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Nanoseconds returns t expressed in nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns t expressed in microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t expressed in milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with an auto-selected unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// FromNanoseconds converts a float nanosecond quantity to Time.
+func FromNanoseconds(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// FromMicroseconds converts a float microsecond quantity to Time.
+func FromMicroseconds(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// event is a scheduled callback. seq provides deterministic FIFO ordering
+// among events scheduled for the same timestamp.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct {
+	ev *event
+}
+
+// Kernel is the discrete-event simulation engine. It is not safe for
+// concurrent use; all models run on the single simulation goroutine, which is
+// what makes the platform deterministic (the paper's SystemC kernel has the
+// same property for a fixed process ordering).
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Executed counts delivered events; used by the simulation-speed
+	// experiment (Fig. 6) and by sanity limits in tests.
+	Executed uint64
+}
+
+// NewKernel returns a kernel positioned at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn after delay. A negative delay is treated as zero (the
+// event still runs after the current callback returns, preserving run-to-
+// completion semantics).
+func (k *Kernel) Schedule(delay Time, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) EventID {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	e := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return EventID{ev: e}
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled event is a no-op and returns false.
+func (k *Kernel) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&k.queue, id.ev.index)
+	id.ev.index = -1
+	id.ev.fn = nil
+	return true
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains, until an event beyond `until`
+// would fire, or until Stop is called. It returns the simulation time at
+// exit. Events scheduled exactly at `until` are executed.
+func (k *Kernel) Run(until Time) Time {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > until {
+			// Leave the event queued; advance time to the horizon so
+			// repeated Run calls behave like a paused simulation.
+			k.now = until
+			return k.now
+		}
+		heap.Pop(&k.queue)
+		k.now = next.at
+		fn := next.fn
+		next.fn = nil
+		k.Executed++
+		fn()
+	}
+	return k.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (k *Kernel) RunAll() Time { return k.Run(MaxTime) }
+
+// Clock describes a clock domain: models align resource grants to its edges
+// to keep cycle accuracy without per-cycle ticking.
+type Clock struct {
+	Period Time
+	Name   string
+}
+
+// NewClock builds a clock from a frequency in MHz.
+func NewClock(name string, mhz float64) *Clock {
+	if mhz <= 0 {
+		panic("sim: clock frequency must be positive")
+	}
+	return &Clock{Period: Time(float64(Second) / (mhz * 1e6)), Name: name}
+}
+
+// FreqMHz returns the clock frequency in MHz.
+func (c *Clock) FreqMHz() float64 { return 1e-6 * float64(Second) / float64(c.Period) }
+
+// NextEdge returns the first clock edge at or after t.
+func (c *Clock) NextEdge(t Time) Time {
+	p := c.Period
+	if p <= 0 {
+		return t
+	}
+	rem := t % p
+	if rem == 0 {
+		return t
+	}
+	return t + (p - rem)
+}
+
+// Cycles converts a cycle count to a duration.
+func (c *Clock) Cycles(n int64) Time { return Time(n) * c.Period }
+
+// CyclesAt reports how many full cycles have elapsed at time t.
+func (c *Clock) CyclesAt(t Time) int64 {
+	if c.Period <= 0 {
+		return 0
+	}
+	return int64(t / c.Period)
+}

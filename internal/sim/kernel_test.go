@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Microsecond != 1000*Nanosecond {
+		t.Fatalf("unit mismatch")
+	}
+	if got := FromMicroseconds(1.5); got != 1500*Nanosecond {
+		t.Fatalf("FromMicroseconds(1.5) = %v", got)
+	}
+	if got := (2500 * Nanosecond).Microseconds(); got != 2.5 {
+		t.Fatalf("Microseconds = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Nanosecond, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d ps: got %q want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(30*Nanosecond, func() { order = append(order, 3) })
+	k.Schedule(10*Nanosecond, func() { order = append(order, 1) })
+	k.Schedule(20*Nanosecond, func() { order = append(order, 2) })
+	k.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if k.Now() != 30*Nanosecond {
+		t.Fatalf("final time %v", k.Now())
+	}
+}
+
+func TestKernelFIFOAtSameTime(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5*Nanosecond, func() { order = append(order, i) })
+	}
+	k.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var hits []Time
+	k.Schedule(10*Nanosecond, func() {
+		hits = append(hits, k.Now())
+		k.Schedule(5*Nanosecond, func() {
+			hits = append(hits, k.Now())
+		})
+	})
+	k.RunAll()
+	if len(hits) != 2 || hits[0] != 10*Nanosecond || hits[1] != 15*Nanosecond {
+		t.Fatalf("nested scheduling wrong: %v", hits)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(10*Nanosecond, func() { fired++ })
+	k.Schedule(20*Nanosecond, func() { fired++ })
+	k.Schedule(30*Nanosecond, func() { fired++ })
+	k.Run(20 * Nanosecond)
+	if fired != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", fired)
+	}
+	if k.Now() != 20*Nanosecond {
+		t.Fatalf("paused time %v", k.Now())
+	}
+	k.RunAll()
+	if fired != 3 {
+		t.Fatalf("resume failed, fired=%d", fired)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	id := k.Schedule(10*Nanosecond, func() { fired = true })
+	if !k.Cancel(id) {
+		t.Fatalf("first cancel should succeed")
+	}
+	if k.Cancel(id) {
+		t.Fatalf("double cancel should fail")
+	}
+	k.RunAll()
+	if fired {
+		t.Fatalf("cancelled event fired")
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		k.Schedule(Time(i)*Nanosecond, func() {
+			n++
+			if n == 2 {
+				k.Stop()
+			}
+		})
+	}
+	k.RunAll()
+	if n != 2 {
+		t.Fatalf("stop did not halt the loop, n=%d", n)
+	}
+	if k.Pending() != 3 {
+		t.Fatalf("pending %d", k.Pending())
+	}
+}
+
+func TestKernelNegativeDelayClamped(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10*Nanosecond, func() {
+		k.Schedule(-5*Nanosecond, func() {
+			if k.Now() != 10*Nanosecond {
+				t.Errorf("negative delay ran at %v", k.Now())
+			}
+		})
+	})
+	k.RunAll()
+}
+
+func TestClockEdges(t *testing.T) {
+	c := NewClock("cpu", 200) // 5 ns period
+	if c.Period != 5*Nanosecond {
+		t.Fatalf("period %v", c.Period)
+	}
+	if got := c.NextEdge(0); got != 0 {
+		t.Fatalf("edge at 0: %v", got)
+	}
+	if got := c.NextEdge(1 * Nanosecond); got != 5*Nanosecond {
+		t.Fatalf("edge after 1ns: %v", got)
+	}
+	if got := c.NextEdge(5 * Nanosecond); got != 5*Nanosecond {
+		t.Fatalf("edge at exact boundary: %v", got)
+	}
+	if got := c.Cycles(3); got != 15*Nanosecond {
+		t.Fatalf("cycles: %v", got)
+	}
+	if got := c.FreqMHz(); got < 199.9 || got > 200.1 {
+		t.Fatalf("freq %v", got)
+	}
+}
+
+func TestClockEdgeProperty(t *testing.T) {
+	c := NewClock("x", 333) // non-divisor period
+	f := func(raw uint32) bool {
+		t0 := Time(raw)
+		e := c.NextEdge(t0)
+		if e < t0 {
+			return false
+		}
+		if e%c.Period != 0 {
+			return false
+		}
+		return e-t0 < c.Period
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSerialization(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, nil, "ecc")
+	var windows [][2]Time
+	for i := 0; i < 3; i++ {
+		s.Acquire(10*Nanosecond, func(start, end Time) {
+			windows = append(windows, [2]Time{start, end})
+		})
+	}
+	k.RunAll()
+	if len(windows) != 3 {
+		t.Fatalf("served %d", len(windows))
+	}
+	for i := 1; i < len(windows); i++ {
+		if windows[i][0] < windows[i-1][1] {
+			t.Fatalf("overlapping service windows: %v", windows)
+		}
+	}
+	if windows[2][1] != 30*Nanosecond {
+		t.Fatalf("total service time wrong: %v", windows)
+	}
+}
+
+func TestServerClockAlignment(t *testing.T) {
+	k := NewKernel()
+	clk := NewClock("bus", 200) // 5 ns
+	s := NewServer(k, clk, "bus")
+	var start Time
+	k.Schedule(7*Nanosecond, func() {
+		s.Acquire(5*Nanosecond, func(st, _ Time) { start = st })
+	})
+	k.RunAll()
+	if start != 10*Nanosecond {
+		t.Fatalf("grant not aligned to clock edge: %v", start)
+	}
+}
+
+func TestServerPriority(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, nil, "arb")
+	var order []string
+	// Occupy the server, then enqueue low before high priority.
+	s.Acquire(10*Nanosecond, func(_, _ Time) {})
+	s.AcquirePrio(1, 10*Nanosecond, func(_, _ Time) { order = append(order, "low") })
+	s.AcquirePrio(0, 10*Nanosecond, func(_, _ Time) { order = append(order, "high") })
+	k.RunAll()
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Fatalf("priority order wrong: %v", order)
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, nil, "u")
+	s.Acquire(25*Nanosecond, func(_, _ Time) {})
+	k.Schedule(100*Nanosecond, func() {}) // extend the run
+	k.RunAll()
+	u := s.Utilization(k.Now())
+	if u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization %v, want 0.25", u)
+	}
+}
+
+func TestTokenGate(t *testing.T) {
+	k := NewKernel()
+	g := NewTokenGate(k, 2)
+	running := 0
+	peak := 0
+	launch := func() {
+		g.AcquireWhenFree(func() {
+			running++
+			if running > peak {
+				peak = running
+			}
+			k.Schedule(10*Nanosecond, func() {
+				running--
+				g.Release()
+			})
+		})
+	}
+	for i := 0; i < 6; i++ {
+		launch()
+	}
+	k.RunAll()
+	if peak != 2 {
+		t.Fatalf("peak concurrency %d, want 2", peak)
+	}
+	if g.Held() != 0 {
+		t.Fatalf("tokens leaked: %d", g.Held())
+	}
+	if g.Acquired != 6 {
+		t.Fatalf("acquired %d", g.Acquired)
+	}
+}
+
+func TestTokenGateFIFO(t *testing.T) {
+	k := NewKernel()
+	g := NewTokenGate(k, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		g.AcquireWhenFree(func() {
+			order = append(order, i)
+			k.Schedule(Nanosecond, g.Release)
+		})
+	}
+	k.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("waiter order: %v", order)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds too correlated: %d collisions", same)
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		n := r.Intn(17)
+		if n < 0 || n >= 17 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+		d := r.Range(10*Nanosecond, 20*Nanosecond)
+		if d < 10*Nanosecond || d > 20*Nanosecond {
+			t.Fatalf("Range out of range: %v", d)
+		}
+	}
+	if r.Range(5, 5) != 5 {
+		t.Fatalf("degenerate range")
+	}
+}
+
+func TestRNGUniformityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		var sum float64
+		const n = 2000
+		for i := 0; i < n; i++ {
+			sum += r.Float64()
+		}
+		mean := sum / n
+		return mean > 0.45 && mean < 0.55
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 core)
+// used for workload generation and NAND timing variability. Every model
+// derives its own stream from a seed so runs are reproducible regardless of
+// component instantiation order.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent stream labelled by tag.
+func (r *RNG) Fork(tag uint64) *RNG {
+	return &RNG{state: r.Uint64() ^ (tag * 0x9e3779b97f4a7c15)}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n).
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform Time in [lo, hi]. If hi <= lo it returns lo.
+func (r *RNG) Range(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	span := int64(hi - lo + 1)
+	return lo + Time(r.Int63n(span))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

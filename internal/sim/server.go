@@ -1,0 +1,182 @@
+package sim
+
+// Server models a shared hardware resource that serves one request at a time
+// (an ECC engine, a DMA engine, an ONFI channel bus in shared-bus gang mode,
+// a CPU core...). Requests are granted in arrival order, optionally aligned
+// to a clock edge, which is how the platform keeps cycle-level timing without
+// simulating individual signal toggles.
+type Server struct {
+	k     *Kernel
+	clock *Clock // optional: grants align to edges of this clock
+	name  string
+
+	busyUntil Time
+	queue     []*serverReq
+
+	// Stats
+	Served    uint64
+	BusyTime  Time
+	lastIdle  Time
+	QueuePeak int
+}
+
+type serverReq struct {
+	dur  Time
+	fn   func(start, end Time)
+	prio int
+}
+
+// NewServer builds a server bound to kernel k. clock may be nil for an
+// unclocked (purely latency-based) resource.
+func NewServer(k *Kernel, clock *Clock, name string) *Server {
+	return &Server{k: k, clock: clock, name: name}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Acquire requests exclusive use of the resource for dur. fn is invoked when
+// service *starts*, with the service window [start, end); the resource is
+// released automatically at end. FIFO order among equal priorities; lower
+// prio value is served first.
+func (s *Server) Acquire(dur Time, fn func(start, end Time)) {
+	s.AcquirePrio(0, dur, fn)
+}
+
+// AcquirePrio is Acquire with an explicit priority class.
+func (s *Server) AcquirePrio(prio int, dur Time, fn func(start, end Time)) {
+	if dur < 0 {
+		dur = 0
+	}
+	req := &serverReq{dur: dur, fn: fn, prio: prio}
+	// Insert keeping FIFO within priority class.
+	idx := len(s.queue)
+	for i, q := range s.queue {
+		if q.prio > prio {
+			idx = i
+			break
+		}
+	}
+	s.queue = append(s.queue, nil)
+	copy(s.queue[idx+1:], s.queue[idx:])
+	s.queue[idx] = req
+	if len(s.queue) > s.QueuePeak {
+		s.QueuePeak = len(s.queue)
+	}
+	s.kick()
+}
+
+// kick starts the next queued request if the resource is free.
+func (s *Server) kick() {
+	if len(s.queue) == 0 {
+		return
+	}
+	now := s.k.Now()
+	if s.busyUntil > now {
+		// Busy: completion event will re-kick.
+		return
+	}
+	req := s.queue[0]
+	copy(s.queue, s.queue[1:])
+	s.queue[len(s.queue)-1] = nil
+	s.queue = s.queue[:len(s.queue)-1]
+
+	start := now
+	if s.clock != nil {
+		start = s.clock.NextEdge(start)
+	}
+	end := start + req.dur
+	s.busyUntil = end
+	s.Served++
+	s.BusyTime += end - start
+	s.k.At(start, func() {
+		req.fn(start, end)
+	})
+	s.k.At(end, func() {
+		s.kick()
+	})
+}
+
+// Busy reports whether the server is occupied at the current time.
+func (s *Server) Busy() bool { return s.busyUntil > s.k.Now() }
+
+// QueueLen reports the number of waiting requests (not counting in-service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Utilization returns busy-time divided by total elapsed time at `now`.
+func (s *Server) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / float64(now)
+}
+
+// TokenGate limits concurrency to N outstanding holders (a counting
+// semaphore in event-driven form). It models resources that allow bounded
+// pipelining rather than strict mutual exclusion, e.g. the NCQ command window
+// or per-die outstanding operation limits.
+type TokenGate struct {
+	k       *Kernel
+	cap     int
+	held    int
+	waiters []func()
+
+	Acquired uint64
+	WaitPeak int
+}
+
+// NewTokenGate builds a gate admitting capacity concurrent holders.
+func NewTokenGate(k *Kernel, capacity int) *TokenGate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TokenGate{k: k, cap: capacity}
+}
+
+// TryAcquire takes a token immediately if available.
+func (g *TokenGate) TryAcquire() bool {
+	if g.held < g.cap {
+		g.held++
+		g.Acquired++
+		return true
+	}
+	return false
+}
+
+// AcquireWhenFree queues fn to run (holding a token) as soon as one frees.
+func (g *TokenGate) AcquireWhenFree(fn func()) {
+	if g.TryAcquire() {
+		g.k.Schedule(0, fn)
+		return
+	}
+	g.waiters = append(g.waiters, fn)
+	if len(g.waiters) > g.WaitPeak {
+		g.WaitPeak = len(g.waiters)
+	}
+}
+
+// Release returns a token, waking the oldest waiter if any.
+func (g *TokenGate) Release() {
+	if g.held <= 0 {
+		panic("sim: TokenGate release without acquire")
+	}
+	if len(g.waiters) > 0 {
+		fn := g.waiters[0]
+		copy(g.waiters, g.waiters[1:])
+		g.waiters[len(g.waiters)-1] = nil
+		g.waiters = g.waiters[:len(g.waiters)-1]
+		g.Acquired++
+		g.k.Schedule(0, fn)
+		return
+	}
+	g.held--
+}
+
+// Held reports current holders.
+func (g *TokenGate) Held() int { return g.held }
+
+// Capacity reports the gate capacity.
+func (g *TokenGate) Capacity() int { return g.cap }
+
+// Waiting reports queued waiters.
+func (g *TokenGate) Waiting() int { return len(g.waiters) }

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpRoundTrip(t *testing.T) {
+	for _, op := range []Op{OpWrite, OpRead, OpTrim, OpFlush} {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op.String(), err)
+		}
+		if got != op {
+			t.Fatalf("round trip %v -> %v", op, got)
+		}
+	}
+	if _, err := ParseOp("Z"); err == nil {
+		t.Fatalf("expected error for unknown op")
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	in := `# comment
+0 W 0 4096
+12.5 R 8 4096
+
+100 T 16 8192
+0 F 0 0
+`
+	reqs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 4 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	if reqs[0].Op != OpWrite || reqs[0].LBA != 0 || reqs[0].Bytes != 4096 {
+		t.Fatalf("req0 = %+v", reqs[0])
+	}
+	if reqs[1].ArrivalUS != 12.5 || reqs[1].Op != OpRead {
+		t.Fatalf("req1 = %+v", reqs[1])
+	}
+	if reqs[2].Op != OpTrim || reqs[2].Bytes != 8192 {
+		t.Fatalf("req2 = %+v", reqs[2])
+	}
+	if reqs[3].Op != OpFlush {
+		t.Fatalf("req3 = %+v", reqs[3])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"0 W 0",            // missing field
+		"x W 0 4096",       // bad arrival
+		"0 Q 0 4096",       // bad op
+		"0 W -5 4096",      // negative lba
+		"0 W 0 -1",         // negative size
+		"0 W abc 4096",     // non-numeric lba
+		"0 W 0 4096 extra", // extra field
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line)); err == nil {
+			t.Errorf("line %q: expected parse error", line)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ArrivalUS: 0, Op: OpWrite, LBA: 0, Bytes: 4096},
+		{ArrivalUS: 3.25, Op: OpRead, LBA: 128, Bytes: 512},
+		{ArrivalUS: 10, Op: OpTrim, LBA: 1 << 30, Bytes: 1 << 20},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("count %d != %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("req %d: %+v != %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestEndLBA(t *testing.T) {
+	r := Request{LBA: 10, Bytes: 4096}
+	if r.EndLBA() != 18 {
+		t.Fatalf("EndLBA = %d", r.EndLBA())
+	}
+	r = Request{LBA: 0, Bytes: 1} // partial sector rounds up
+	if r.EndLBA() != 1 {
+		t.Fatalf("partial sector EndLBA = %d", r.EndLBA())
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := NewSliceStream([]Request{{LBA: 1}, {LBA: 2}})
+	r1, ok := s.Next()
+	if !ok || r1.LBA != 1 {
+		t.Fatalf("first next: %+v %v", r1, ok)
+	}
+	if s.Remaining() != 1 {
+		t.Fatalf("remaining %d", s.Remaining())
+	}
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Fatalf("expected exhaustion")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.LBA != 1 {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestPatternParse(t *testing.T) {
+	for _, p := range []Pattern{SeqWrite, SeqRead, RandWrite, RandRead} {
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Fatalf("pattern %v round trip failed: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParsePattern("nope"); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestSequentialWorkloadLayout(t *testing.T) {
+	w := WorkloadSpec{Pattern: SeqWrite, BlockSize: 4096, SpanBytes: 4096 * 8, Requests: 20}
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 20 {
+		t.Fatalf("count %d", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Op != OpWrite {
+			t.Fatalf("req %d op %v", i, r.Op)
+		}
+		wantLBA := int64(i%8) * 8
+		if r.LBA != wantLBA {
+			t.Fatalf("req %d lba %d want %d (wraparound)", i, r.LBA, wantLBA)
+		}
+		if r.Bytes != 4096 {
+			t.Fatalf("req %d size %d", i, r.Bytes)
+		}
+	}
+}
+
+func TestRandomWorkloadBounds(t *testing.T) {
+	w := WorkloadSpec{Pattern: RandRead, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 500, Seed: 9}
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, r := range reqs {
+		if r.Op != OpRead {
+			t.Fatalf("op %v", r.Op)
+		}
+		if r.LBA%8 != 0 {
+			t.Fatalf("unaligned random LBA %d", r.LBA)
+		}
+		if r.EndLBA()*SectorSize > 1<<20 {
+			t.Fatalf("request beyond span: %+v", r)
+		}
+		seen[r.LBA] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("random workload not spread: %d distinct blocks", len(seen))
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	w := WorkloadSpec{Pattern: RandWrite, BlockSize: 4096, SpanBytes: 1 << 24, Requests: 100, Seed: 3}
+	a, _ := w.Generate()
+	b, _ := w.Generate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	w.Seed = 4
+	c, _ := w.Generate()
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("different seeds produced identical traces")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []WorkloadSpec{
+		{Pattern: SeqWrite, BlockSize: 0, SpanBytes: 1 << 20, Requests: 1},
+		{Pattern: SeqWrite, BlockSize: 100, SpanBytes: 1 << 20, Requests: 1}, // not sector multiple
+		{Pattern: SeqWrite, BlockSize: 4096, SpanBytes: 1024, Requests: 1},
+		{Pattern: SeqWrite, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 0},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWorkloadProperty(t *testing.T) {
+	f := func(seed uint64, nReq uint8) bool {
+		n := int(nReq)%200 + 1
+		w := WorkloadSpec{Pattern: RandWrite, BlockSize: 4096, SpanBytes: 1 << 22, Requests: n, Seed: seed}
+		reqs, err := w.Generate()
+		if err != nil || len(reqs) != n {
+			return false
+		}
+		for _, r := range reqs {
+			if r.LBA < 0 || r.EndLBA()*SectorSize > 1<<22 || r.Bytes != 4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedSpec(t *testing.T) {
+	m := MixedSpec{BlockSize: 4096, SpanBytes: 1 << 22, Requests: 1000, WriteFraction: 0.7, Random: true, Seed: 1}
+	reqs, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for _, r := range reqs {
+		if r.Op == OpWrite {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(len(reqs))
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("write fraction %v, want ~0.7", frac)
+	}
+	if _, err := (MixedSpec{BlockSize: 4096, SpanBytes: 1 << 22, Requests: 10, WriteFraction: 1.5}).Generate(); err == nil {
+		t.Fatalf("expected error for bad fraction")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	w := WorkloadSpec{Pattern: SeqWrite, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 256}
+	if w.TotalBytes() != 1<<20 {
+		t.Fatalf("TotalBytes = %d", w.TotalBytes())
+	}
+}

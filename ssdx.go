@@ -1,0 +1,144 @@
+// Package ssdx is the public API of the SSDExplorer reproduction: a virtual
+// platform for fine-grained design space exploration of solid state drives
+// (Zuolo et al., DATE 2014). It assembles mixed-abstraction models of every
+// SSD component — an ARM7-class CPU running a firmware cost model (or a real
+// ARMv4-subset firmware routine), an AMBA AHB interconnect, channel/way
+// controllers with ONFI-style NAND dies, DDR2 DRAM buffers, SATA II / NVMe
+// host interfaces, BCH ECC and a GZIP-class compressor — into one
+// deterministic discrete-event simulation, and measures the performance
+// breakdown columns the paper's evaluation is built on.
+//
+// Quick start:
+//
+//	cfg := ssdx.VertexConfig()
+//	w, _ := ssdx.NewWorkload("SW", 4096, 1<<28, 12000)
+//	res, _ := ssdx.Run(cfg, w, ssdx.ModeFull)
+//	fmt.Println(res)
+package ssdx
+
+import (
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Config is a complete platform description (topology, host interface, NAND
+// profile, buffer policy, ECC, compressor, FTL abstraction, CPU).
+type Config = config.Platform
+
+// Workload is a synthetic IOZone-style benchmark description.
+type Workload = trace.WorkloadSpec
+
+// Result is the outcome of one simulated run.
+type Result = core.Result
+
+// Mode selects the measurement column (full SSD, host-ideal, host+DDR,
+// DDR+flash).
+type Mode = core.Mode
+
+// Measurement modes (the paper's breakdown columns).
+const (
+	ModeFull      = core.ModeFull
+	ModeHostIdeal = core.ModeHostIdeal
+	ModeHostDDR   = core.ModeHostDDR
+	ModeDDRFlash  = core.ModeDDRFlash
+)
+
+// Pattern aliases for workload construction.
+const (
+	SeqWrite  = trace.SeqWrite
+	SeqRead   = trace.SeqRead
+	RandWrite = trace.RandWrite
+	RandRead  = trace.RandRead
+)
+
+// DefaultConfig returns the baseline exploration platform (4 channels,
+// 2 ways, 4 dies, SATA II, conservative MLC timing).
+func DefaultConfig() Config { return config.Default() }
+
+// VertexConfig returns the OCZ-Vertex-like validation platform used by the
+// paper's Fig. 2 comparison.
+func VertexConfig() Config { return config.Vertex() }
+
+// TableII returns the ten design points of the paper's Table II (Figs. 3/4).
+func TableII() []Config { return config.TableII() }
+
+// TableIII returns the eight simulation-speed points of Table III (Fig. 6).
+func TableIII() []Config { return config.TableIII() }
+
+// Preset resolves a named configuration: "default", "vertex", "t2:C6",
+// "t3:C2", ...
+func Preset(name string) (Config, error) { return config.Preset(name) }
+
+// LoadConfig parses a key = value platform file (see Config.Render for the
+// format).
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return config.Parse(f)
+}
+
+// NewWorkload builds a workload from a pattern name (SW, SR, RW, RR), block
+// size, span and request count.
+func NewWorkload(pattern string, blockBytes, spanBytes int64, requests int) (Workload, error) {
+	p, err := trace.ParsePattern(pattern)
+	if err != nil {
+		return Workload{}, err
+	}
+	w := Workload{
+		Pattern:   p,
+		BlockSize: blockBytes,
+		SpanBytes: spanBytes,
+		Requests:  requests,
+		Seed:      1,
+	}
+	return w, w.Validate()
+}
+
+// Run builds a fresh platform from cfg and executes the workload in the
+// given measurement mode. Platforms are single-use; Run hides that.
+func Run(cfg Config, w Workload, mode Mode) (Result, error) {
+	return core.RunWorkload(cfg, w, mode)
+}
+
+// Build exposes the underlying platform for callers that need component
+// access (examples inspect utilizations; tests inject faults).
+func Build(cfg Config) (*core.Platform, error) { return core.Build(cfg) }
+
+// ParseTraceFile loads a host I/O trace in the canonical text format.
+func ParseTraceFile(path string) ([]trace.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Parse(f)
+}
+
+// WriteTraceFile writes requests as a trace file.
+func WriteTraceFile(path string, reqs []trace.Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.Write(f, reqs)
+}
+
+// RunTrace executes an explicit request list (e.g. a parsed trace file)
+// against a platform configuration in ModeFull.
+func RunTrace(cfg Config, reqs []trace.Request) (Result, error) {
+	p, err := core.Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.RunRequests(reqs)
+}
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
