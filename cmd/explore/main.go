@@ -1,0 +1,274 @@
+// Command explore is the fine-grained design-space exploration front end:
+// it sweeps a Cartesian space of platform / workload axes on a parallel
+// worker pool, caches results by content hash so repeated sweeps are
+// incremental, ranks the outcomes by Pareto dominance under the requested
+// objectives, and exports the full sweep as CSV or JSON.
+//
+// Example (a 108-point space on 8 workers):
+//
+//	explore -channels 2,4,8 -ways 1,2,4 -dies 1,2,4 \
+//	        -host sata2,pcie-g2x8 -pattern SW,RR \
+//	        -objectives mbps,latency,waf -j 8 -cache sweep.cache
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+
+	ssdx "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		channels = flag.String("channels", "2,4,8", "comma-separated channel counts")
+		ways     = flag.String("ways", "1,2,4", "comma-separated way counts")
+		dies     = flag.String("dies", "", "comma-separated dies per way (empty = base)")
+		buffers  = flag.String("buffers", "", "comma-separated DDR buffer counts (empty = base)")
+		host     = flag.String("host", "sata2", "comma-separated host interfaces (sata2, pcie-g2x8, ...)")
+		nand     = flag.String("nand", "", "comma-separated NAND profiles (explore, vertex)")
+		eccs     = flag.String("ecc", "", "comma-separated ECC schemes (none, fixed, adaptive)")
+		ftl      = flag.String("ftl", "", "comma-separated FTL modes (waf, mapper)")
+		cachepol = flag.String("cachepol", "", "comma-separated buffer policies (cache, nocache)")
+		patterns = flag.String("pattern", "SW", "comma-separated workload patterns (SW, SR, RW, RR)")
+		blocks   = flag.String("block", "4096", "comma-separated request sizes in bytes")
+		span     = flag.Int64("span", 1<<28, "addressable span in bytes")
+		requests = flag.Int("requests", 2000, "requests per point")
+		preset   = flag.String("preset", "default", "base configuration preset for unswept axes")
+		objSpec  = flag.String("objectives", "mbps,latency,waf", "Pareto objectives (mbps, ramp, latency, p99, waf, erases, wearout, gc, events)")
+		workers  = flag.Int("j", runtime.NumCPU(), "parallel workers")
+		sample   = flag.Int("sample", 0, "evaluate only N seeded-random points of the space (0 = all)")
+		seed     = flag.Uint64("seed", 1, "sampling seed")
+		cacheF   = flag.String("cache", "", "result cache file (loaded if present, saved after the sweep)")
+		csvF     = flag.String("csv", "", "write the full sweep as CSV to this file ('-' = stdout)")
+		jsonF    = flag.String("json", "", "write the full sweep as JSON to this file ('-' = stdout)")
+		front    = flag.Bool("front", false, "print only the Pareto front")
+		quiet    = flag.Bool("quiet", false, "suppress per-point progress")
+	)
+	flag.Parse()
+
+	base, err := ssdx.Preset(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	space := ssdx.Space{
+		Base:      base,
+		SpanBytes: *span,
+		Requests:  *requests,
+	}
+	if space.Channels, err = ints(*channels); err != nil {
+		fatal(fmt.Errorf("-channels: %w", err))
+	}
+	if space.Ways, err = ints(*ways); err != nil {
+		fatal(fmt.Errorf("-ways: %w", err))
+	}
+	if space.DiesPerWay, err = ints(*dies); err != nil {
+		fatal(fmt.Errorf("-dies: %w", err))
+	}
+	if space.DDRBuffers, err = ints(*buffers); err != nil {
+		fatal(fmt.Errorf("-buffers: %w", err))
+	}
+	space.HostIF = words(*host)
+	space.NANDProfile = words(*nand)
+	space.ECCScheme = words(*eccs)
+	space.FTLMode = words(*ftl)
+	space.CachePolicy = words(*cachepol)
+	for _, p := range words(*patterns) {
+		pat, err := trace.ParsePattern(p)
+		if err != nil {
+			fatal(err)
+		}
+		space.Patterns = append(space.Patterns, pat)
+	}
+	if bs, err := ints(*blocks); err != nil {
+		fatal(fmt.Errorf("-block: %w", err))
+	} else {
+		for _, b := range bs {
+			space.BlockSizes = append(space.BlockSizes, int64(b))
+		}
+	}
+
+	objs, err := ssdx.ParseObjectives(*objSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	pts, err := space.Sample(pickN(*sample, space), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "# space: %d points (%d to evaluate), %d workers\n",
+		space.Size(), len(pts), *workers)
+
+	cache := ssdx.NewCache()
+	if *cacheF != "" {
+		if cache, err = ssdx.LoadResultCache(*cacheF); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# cache: %d entries loaded from %s\n", cache.Len(), *cacheF)
+	}
+	runner := &ssdx.Runner{Workers: *workers, Cache: cache}
+	if !*quiet {
+		runner.OnProgress = func(done, total int, ev ssdx.Eval) {
+			mark := " "
+			if ev.Cached {
+				mark = "~"
+			}
+			if ev.Failed() {
+				mark = "!"
+			}
+			fmt.Fprintf(os.Stderr, "\r[%4d/%4d]%s %-48s %8.1f MB/s",
+				done, total, mark, ev.Point.Describe(), ev.Result.MBps)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	evals, runErr := runner.Run(ctx, pts)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "explore:", runErr)
+		// Fall through: partial results (and the cache) are still worth
+		// saving and printing, but exit non-zero so scripts notice.
+	}
+	if *cacheF != "" {
+		if err := cache.Save(*cacheF); err != nil {
+			fatal(err)
+		}
+		hits, misses := cache.Stats()
+		fmt.Fprintf(os.Stderr, "# cache: %d entries saved to %s (%d hits, %d misses)\n",
+			cache.Len(), *cacheF, hits, misses)
+	}
+
+	if *csvF != "" {
+		if err := withOut(*csvF, func(w *os.File) error { return ssdx.WriteSweepCSV(w, evals) }); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonF != "" {
+		if err := withOut(*jsonF, func(w *os.File) error { return ssdx.WriteSweepJSON(w, evals, objs) }); err != nil {
+			fatal(err)
+		}
+	}
+	printTable(evals, objs, *front)
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+// printTable renders the rank-sorted sweep (or just the front) to stdout.
+// The quadratic non-dominated sort runs once; rows order by (rank, first
+// objective, input order) like ssdx.SortByParetoRank.
+func printTable(evals []ssdx.Eval, objs []ssdx.Objective, frontOnly bool) {
+	ranks := ssdx.ParetoRanks(evals, objs)
+	score := func(i int) float64 {
+		v := objs[0].Value(evals[i].Result)
+		if !objs[0].Maximize {
+			return -v
+		}
+		return v
+	}
+	order := make([]int, len(evals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		ri, rj := ranks[i], ranks[j]
+		if ri < 0 || rj < 0 { // failed evals last
+			return rj < 0 && ri >= 0
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		if si, sj := score(i), score(j); si != sj {
+			return si > sj
+		}
+		return i < j
+	})
+	fmt.Printf("%-6s %-5s %-44s %10s %12s %8s %8s\n",
+		"point", "rank", "design", "MB/s", "mean-lat-us", "WAF", "cached")
+	for _, i := range order {
+		ev, r := evals[i], ranks[i]
+		if frontOnly && r != 0 {
+			continue
+		}
+		label := fmt.Sprintf("p%04d", ev.Point.Index)
+		if r == 0 {
+			label += "*"
+		}
+		if ev.Failed() {
+			fmt.Printf("%-6s %-5s %-44s failed: %s\n", label, "-", ev.Point.Describe(), ev.Err)
+			continue
+		}
+		fmt.Printf("%-6s %-5d %-44s %10.1f %12.1f %8.2f %8v\n",
+			label, r, ev.Point.Describe(),
+			ev.Result.MBps, ev.Result.MeanLatUS, ev.Result.WAF, ev.Cached)
+	}
+}
+
+// pickN resolves the -sample flag: 0 means the whole space.
+func pickN(n int, s ssdx.Space) int {
+	if n <= 0 || int64(n) > s.Size() {
+		if s.Size() > int64(^uint(0)>>1) {
+			fatal(fmt.Errorf("space of %d points needs -sample", s.Size()))
+		}
+		return int(s.Size())
+	}
+	return n
+}
+
+// ints parses a comma-separated integer list ("" = nil).
+func ints(s string) ([]int, error) {
+	var out []int
+	for _, part := range words(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// words splits a comma-separated list, trimming blanks ("" = nil).
+func words(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// withOut opens path for writing ('-' = stdout) and runs fn.
+func withOut(path string, fn func(*os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "explore:", err)
+	os.Exit(1)
+}

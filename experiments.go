@@ -1,12 +1,14 @@
 package ssdx
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dse"
 	"repro/internal/trace"
 )
 
@@ -72,64 +74,68 @@ type DSERow struct {
 	HostDDR    float64 // SATA/PCIE + DDR
 }
 
-// DesignSpaceExploration reproduces Fig. 3 (host = "sata2") or Fig. 4
-// (host = "pcie-g2x8"): sequential 4 KB writes over the Table II design
-// points, measured in all five breakdown columns.
-func DesignSpaceExploration(host string, scale float64) ([]DSERow, error) {
-	var rows []DSERow
-	for _, cfg := range config.TableII() {
-		cfg.HostIF = host
-		row, err := dseRow(cfg, scale)
-		if err != nil {
-			return nil, fmt.Errorf("dse %s: %w", cfg.Name, err)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+// expCache memoises harness runs process-wide: the experiment functions all
+// evaluate through the dse engine, so repeated table/figure regenerations
+// (CLIs, benches, tests) only pay for points they have not simulated yet.
+var expCache = dse.NewCache()
+
+// expRunner returns the shared experiment runner: real simulator, one
+// worker per core, process-wide cache.
+func expRunner() *dse.Runner {
+	return &dse.Runner{Cache: expCache}
 }
 
-// dseRow measures the five columns for one configuration.
-func dseRow(cfg config.Platform, scale float64) (DSERow, error) {
-	row := DSERow{Name: cfg.Name, Topology: cfg.Describe()}
+// DesignSpaceExploration reproduces Fig. 3 (host = "sata2") or Fig. 4
+// (host = "pcie-g2x8"): sequential 4 KB writes over the Table II design
+// points, measured in all five breakdown columns. The ten configurations
+// times five columns run as one parallel sweep on the dse engine.
+func DesignSpaceExploration(host string, scale float64) ([]DSERow, error) {
+	cfgs := config.TableII()
 	w := trace.WorkloadSpec{
 		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 30, Seed: 7,
 	}
-	// Short columns: wire-bound measurements converge fast.
-	w.Requests = scaled(4000, scale)
-	ideal, err := core.RunWorkload(cfg, w, core.ModeHostIdeal)
-	if err != nil {
-		return row, err
+	// Five points per configuration, in column order. Wire-bound columns
+	// converge fast; flash-bound columns need steady state past the
+	// write-cache fill; no-cache runs are latency-bound (queue-depth wall)
+	// and need fewer requests still.
+	const cols = 5
+	var pts []dse.Point
+	for _, cfg := range cfgs {
+		cfg.HostIF = host
+		short, long, ncReqs := scaled(4000, scale), scaled(16000, scale), scaled(6000, scale)
+		ncfg := cfg
+		ncfg.CachePolicy = "nocache"
+		mk := func(c config.Platform, reqs int, mode core.Mode) dse.Point {
+			wl := w
+			wl.Requests = reqs
+			return dse.Point{Config: c, Workload: wl, Mode: mode}
+		}
+		pts = append(pts,
+			mk(cfg, short, core.ModeHostIdeal),
+			mk(cfg, short, core.ModeHostDDR),
+			mk(cfg, long, core.ModeDDRFlash),
+			mk(cfg, long, core.ModeFull),
+			mk(ncfg, ncReqs, core.ModeFull),
+		)
 	}
-	row.HostIdeal = ideal.MBps
-	hd, err := core.RunWorkload(cfg, w, core.ModeHostDDR)
+	evals, err := expRunner().Run(context.Background(), pts)
 	if err != nil {
-		return row, err
+		return nil, fmt.Errorf("dse sweep (host=%s): %w", host, err)
 	}
-	row.HostDDR = hd.MBps
-	// Flash-bound columns need steady state past the write-cache fill.
-	w.Requests = scaled(16000, scale)
-	drain, err := core.RunWorkload(cfg, w, core.ModeDDRFlash)
-	if err != nil {
-		return row, err
+	rows := make([]DSERow, len(cfgs))
+	for i, cfg := range cfgs {
+		col := evals[i*cols : (i+1)*cols]
+		rows[i] = DSERow{
+			Name:       cfg.Name,
+			Topology:   cfg.Describe(),
+			HostIdeal:  col[0].Result.MBps,
+			HostDDR:    col[1].Result.MBps,
+			DDRFlash:   col[2].Result.MBps,
+			SSDCache:   col[3].Result.MBps,
+			SSDNoCache: col[4].Result.MBps,
+		}
 	}
-	row.DDRFlash = drain.MBps
-	cache, err := core.RunWorkload(cfg, w, core.ModeFull)
-	if err != nil {
-		return row, err
-	}
-	row.SSDCache = cache.MBps
-	ncfg := cfg
-	ncfg.CachePolicy = "nocache"
-	// No-cache runs are latency-bound (queue-depth wall): fewer requests
-	// suffice on SATA; NVMe unveils parallelism and drains fast anyway.
-	nw := w
-	nw.Requests = scaled(6000, scale)
-	nc, err := core.RunWorkload(ncfg, nw, core.ModeFull)
-	if err != nil {
-		return row, err
-	}
-	row.SSDNoCache = nc.MBps
-	return row, nil
+	return rows, nil
 }
 
 // WearRow is one endurance sample of the Fig. 5 experiment.
@@ -144,13 +150,14 @@ type WearRow struct {
 // WearoutSweep reproduces Fig. 5: sequential read and write throughput over
 // normalised rated endurance for a fixed 40-bit BCH vs an adaptive BCH, on
 // the paper's 4-channel / 2-way / 4-die platform with a shared bit-serial
-// ECC engine.
+// ECC engine. All (wear x scheme x pattern) samples run as one parallel
+// sweep on the dse engine.
 func WearoutSweep(points int, scale float64) ([]WearRow, error) {
 	if points < 2 {
 		points = 2
 	}
 	reqs := scaled(6000, scale)
-	run := func(scheme string, wear float64, pat trace.Pattern) (float64, error) {
+	mk := func(scheme string, wear float64, pat trace.Pattern) dse.Point {
 		cfg := config.Default() // 4-CHN; 2-WAY; 4-DIE
 		cfg.ECCScheme = scheme
 		cfg.ECCT = 40
@@ -158,30 +165,33 @@ func WearoutSweep(points int, scale float64) ([]WearRow, error) {
 		cfg.ECCLatency = "bit-serial"
 		cfg.Wear = wear
 		w := trace.WorkloadSpec{Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 27, Requests: reqs, Seed: 7}
-		res, err := core.RunWorkload(cfg, w, core.ModeFull)
-		if err != nil {
-			return 0, err
-		}
-		return res.MBps, nil
+		return dse.Point{Config: cfg, Workload: w, Mode: core.ModeFull}
 	}
-	var rows []WearRow
+	const series = 4 // fixed R, fixed W, adaptive R, adaptive W
+	var pts []dse.Point
 	for i := 0; i < points; i++ {
 		wear := float64(i) / float64(points-1)
-		row := WearRow{Wear: wear}
-		var err error
-		if row.FixedRead, err = run("fixed", wear, trace.SeqRead); err != nil {
-			return nil, err
+		pts = append(pts,
+			mk("fixed", wear, trace.SeqRead),
+			mk("fixed", wear, trace.SeqWrite),
+			mk("adaptive", wear, trace.SeqRead),
+			mk("adaptive", wear, trace.SeqWrite),
+		)
+	}
+	evals, err := expRunner().Run(context.Background(), pts)
+	if err != nil {
+		return nil, fmt.Errorf("wearout sweep: %w", err)
+	}
+	rows := make([]WearRow, points)
+	for i := 0; i < points; i++ {
+		s := evals[i*series : (i+1)*series]
+		rows[i] = WearRow{
+			Wear:          float64(i) / float64(points-1),
+			FixedRead:     s[0].Result.MBps,
+			FixedWrite:    s[1].Result.MBps,
+			AdaptiveRead:  s[2].Result.MBps,
+			AdaptiveWrite: s[3].Result.MBps,
 		}
-		if row.FixedWrite, err = run("fixed", wear, trace.SeqWrite); err != nil {
-			return nil, err
-		}
-		if row.AdaptiveRead, err = run("adaptive", wear, trace.SeqRead); err != nil {
-			return nil, err
-		}
-		if row.AdaptiveWrite, err = run("adaptive", wear, trace.SeqWrite); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -204,7 +214,9 @@ var PaperKCPS = []float64{144.1, 108.4, 79.5, 39.7, 34.8, 25.4, 15.8, 0.3}
 
 // SimulationSpeed reproduces Fig. 6: a fixed sequential-write workload over
 // the Table III configurations, reporting simulated CPU kilo-cycles per
-// wall-clock second.
+// wall-clock second. Unlike the throughput experiments this one measures
+// wall-clock speed, so it deliberately runs sequentially and uncached —
+// a parallel or memoised run would corrupt the KCPS numbers.
 func SimulationSpeed(scale float64) ([]SpeedRow, error) {
 	reqs := scaled(3000, scale)
 	var rows []SpeedRow

@@ -404,6 +404,7 @@ func (p Platform) Render(w io.Writer) error {
 		"spare_factor":           strconv.FormatFloat(p.SpareFactor, 'g', -1, 64),
 		"waf_override":           strconv.FormatFloat(p.WAFOverride, 'g', -1, 64),
 		"cpu_cores":              strconv.Itoa(p.CPUCores),
+		"cpu_model":              p.CPUModel,
 		"write_cache_pages":      strconv.Itoa(p.WriteCachePages),
 		"ahb_layers":             strconv.Itoa(p.AHBLayers),
 		"wear":                   strconv.FormatFloat(p.Wear, 'g', -1, 64),

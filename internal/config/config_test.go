@@ -143,6 +143,11 @@ func TestRenderParseRoundTrip(t *testing.T) {
 	orig := Vertex()
 	orig.Wear = 0.25
 	orig.QueueDepth = 16
+	// Diverge from Default() on fields Parse would otherwise inherit, so a
+	// key silently dropped by Render cannot round-trip by accident.
+	orig.CPUModel = "firmware"
+	orig.FTLMode = "mapper"
+	orig.GangMode = "shared-control"
 	var buf bytes.Buffer
 	if err := orig.Render(&buf); err != nil {
 		t.Fatal(err)

@@ -57,6 +57,9 @@ func TestQueueDepthOverride(t *testing.T) {
 // TestMultiLayerAHBRaisesPCIeCeiling: the multi-layer interconnect option
 // lifts the Fig. 4 wall.
 func TestMultiLayerAHBRaisesPCIeCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	base, _ := config.Preset("t2:C10")
 	base.HostIF = "pcie-g2x8"
 	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 30, Requests: 12000, Seed: 7}
@@ -129,6 +132,9 @@ func TestLatencyReporting(t *testing.T) {
 
 // TestDeterminism: identical config+workload+seed give identical results.
 func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	w := trace.WorkloadSpec{Pattern: trace.RandWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 3000, Seed: 11}
 	a, err := RunWorkload(config.Vertex(), w, ModeFull)
 	if err != nil {

@@ -49,6 +49,9 @@ func TestModeNames(t *testing.T) {
 // Vertex-class platform must land within the paper's error bands around the
 // documented reference throughputs (see EXPERIMENTS.md for the references).
 func TestVertexValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	refs := map[trace.Pattern][2]float64{
 		trace.SeqWrite:  {140, 180}, // ref 165 +/- paper's ~8%
 		trace.SeqRead:   {228, 252}, // ref 240 +/- ~5%
@@ -67,6 +70,9 @@ func TestVertexValidation(t *testing.T) {
 // throughput converges to the flash drain rate — the physical consistency
 // behind Fig. 3's "perfect balancing" argument.
 func TestCacheSteadyStateEqualsDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	cfg, _ := config.Preset("t2:C1")
 	drain := run4k(t, cfg, trace.SeqWrite, 12000, ModeDDRFlash)
 	full := run4k(t, cfg, trace.SeqWrite, 12000, ModeFull)
@@ -102,6 +108,9 @@ func TestNoCacheQueueDepthWall(t *testing.T) {
 // TestNVMeUnveilsParallelism: Fig. 4's finding — the 64K-entry NVMe queue
 // lets no-cache throughput track the cache configuration.
 func TestNVMeUnveilsParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	cfg, _ := config.Preset("t2:C6")
 	cfg.HostIF = "pcie-g2x8"
 	cfg.CachePolicy = "nocache"
@@ -120,6 +129,9 @@ func TestNVMeUnveilsParallelism(t *testing.T) {
 // TestPCIeInterconnectBottleneck: Fig. 4 — PCIe removes the host limit and
 // even C10 cannot saturate it; the interconnect becomes the wall.
 func TestPCIeInterconnectBottleneck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	cfg, _ := config.Preset("t2:C10")
 	cfg.HostIF = "pcie-g2x8"
 	ideal := run4k(t, cfg, trace.SeqWrite, 4000, ModeHostIdeal)
@@ -162,6 +174,9 @@ func TestAdaptiveVsFixedECC(t *testing.T) {
 // barely depends on correction strength, so writes are similar across
 // schemes and wear.
 func TestWriteLargelyECCInsensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	write := func(scheme string, wear float64) float64 {
 		cfg := config.Default()
 		cfg.ECCScheme = scheme
@@ -200,6 +215,9 @@ func TestHostIdealMatchesAnalytic(t *testing.T) {
 
 // TestRandomWriteWAFInjected: random writes must carry greedy-GC traffic.
 func TestRandomWriteWAFInjected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	res := run4k(t, config.Vertex(), trace.RandWrite, 4000, ModeFull)
 	if res.WAF < 2 {
 		t.Fatalf("random WAF %.2f", res.WAF)
@@ -237,6 +255,9 @@ func TestRandomReadCPUBound(t *testing.T) {
 // TestChannelCompressionBoostsWrites: a 2:1 channel/way compressor halves
 // NAND traffic and nearly doubles flash-bound sequential writes.
 func TestChannelCompressionBoostsWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	base, _ := config.Preset("t2:C1")
 	plain := run4k(t, base, trace.SeqWrite, 12000, ModeFull)
 	comp := base
@@ -254,6 +275,9 @@ func TestChannelCompressionBoostsWrites(t *testing.T) {
 // TestGangModeAblation: shared-control gang outperforms shared-bus when the
 // ONFI data bus is the constraint (many dies on the slow explore bus).
 func TestGangModeAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	bus, _ := config.Preset("t2:C5") // 8 ch x 8 way x 8 die: bus saturated
 	busRes := run4k(t, bus, trace.SeqWrite, 12000, ModeDDRFlash)
 	sc := bus

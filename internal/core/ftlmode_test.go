@@ -39,6 +39,9 @@ func TestMapperModeSequential(t *testing.T) {
 }
 
 func TestMapperModeRandomGC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	// Span sized above the managed capacity share so random overwrites
 	// force real garbage collection.
 	cfg := mapperCfg()

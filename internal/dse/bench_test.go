@@ -1,0 +1,44 @@
+package dse
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// benchSpace is a 16-point real-simulation space used to measure the
+// parallel speedup of the Runner. Run with:
+//
+//	go test -bench Runner -benchtime 1x ./internal/dse
+//
+// Expect the parallel case to approach a core-count speedup over the
+// sequential case (each point is an independent simulation).
+func benchSpace() Space {
+	return Space{
+		Channels:   []int{1, 2, 4, 8},
+		DiesPerWay: []int{1, 2},
+		Patterns:   []trace.Pattern{trace.SeqWrite, trace.SeqRead},
+		SpanBytes:  1 << 26,
+		Requests:   800,
+	}
+}
+
+func benchRun(b *testing.B, workers int) {
+	pts, err := benchSpace().Enumerate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &Runner{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(context.Background(), pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunnerSequential(b *testing.B) { benchRun(b, 1) }
+
+func BenchmarkRunnerParallel(b *testing.B) { benchRun(b, runtime.NumCPU()) }

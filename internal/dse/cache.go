@@ -1,0 +1,103 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Cache memoises evaluation results keyed by Point.Key(), the content hash
+// of the full simulation input. Because every run is deterministic, a hit is
+// as good as a re-simulation, so repeated or overlapping sweeps only pay for
+// the points they have not seen before. The cache is safe for concurrent
+// use by a Runner's workers and serialises to JSON for cross-run reuse.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]core.Result
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]core.Result)}
+}
+
+// Get looks up a result and counts the hit or miss.
+func (c *Cache) Get(key string) (core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return res, ok
+}
+
+// Put stores a result.
+func (c *Cache) Put(key string, res core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = res
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the lookup counters.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Save writes the cache contents to path as JSON.
+func (c *Cache) Save(path string) error {
+	c.mu.Lock()
+	data, err := json.MarshalIndent(c.entries, "", " ")
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("dse: marshal cache: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load merges entries from a Save'd file into the cache.
+func (c *Cache) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries map[string]core.Result
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("dse: parse cache %s: %w", path, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range entries {
+		c.entries[k] = v
+	}
+	return nil
+}
+
+// LoadCache opens a cache file, returning an empty cache if the file does
+// not exist yet (the first run of an incremental sweep).
+func LoadCache(path string) (*Cache, error) {
+	c := NewCache()
+	if err := c.Load(path); err != nil {
+		if os.IsNotExist(err) {
+			return c, nil
+		}
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,90 @@
+package dse
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader lists the flattened sweep columns: the swept inputs first, then
+// the measured outputs.
+var csvHeader = []string{
+	"index", "name", "channels", "ways", "dies_per_way", "ddr_buffers",
+	"host_if", "nand_profile", "ecc_scheme", "ftl_mode", "cache_policy",
+	"pattern", "block_bytes", "requests", "mode",
+	"mbps", "ramp_mbps", "mean_lat_us", "p99_lat_us", "waf",
+	"erases", "gc_copies", "flash_writes", "flash_reads", "events",
+	"sim_ns", "cached", "err",
+}
+
+// WriteCSV renders evaluations as one flat CSV table, one row per point.
+func WriteCSV(w io.Writer, evals []Eval) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, ev := range evals {
+		c, r := ev.Point.Config, ev.Result
+		row := []string{
+			strconv.FormatInt(ev.Point.Index, 10),
+			c.Name,
+			strconv.Itoa(c.Channels),
+			strconv.Itoa(c.Ways),
+			strconv.Itoa(c.DiesPerWay),
+			strconv.Itoa(c.DDRBuffers),
+			c.HostIF,
+			c.NANDProfile,
+			c.ECCScheme,
+			c.FTLMode,
+			c.CachePolicy,
+			ev.Point.Workload.Pattern.String(),
+			strconv.FormatInt(ev.Point.Workload.BlockSize, 10),
+			strconv.Itoa(ev.Point.Workload.Requests),
+			ev.Point.Mode.String(),
+			f(r.MBps), f(r.RampMBps), f(r.MeanLatUS), f(r.P99LatUS), f(r.WAF),
+			strconv.FormatUint(r.Erases, 10),
+			strconv.FormatUint(r.GCCopies, 10),
+			strconv.FormatUint(r.FlashWrites, 10),
+			strconv.FormatUint(r.FlashReads, 10),
+			strconv.FormatUint(r.Events, 10),
+			strconv.FormatInt(int64(r.SimTime), 10),
+			strconv.FormatBool(ev.Cached),
+			ev.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report is the JSON export envelope: the evaluations plus the Pareto
+// analysis that was applied to them.
+type Report struct {
+	Objectives []string `json:"objectives,omitempty"`
+	Ranks      []int    `json:"ranks,omitempty"`
+	Evals      []Eval   `json:"evals"`
+}
+
+// WriteJSON renders evaluations (and, with objectives, their dominance
+// ranks) as an indented JSON report.
+func WriteJSON(w io.Writer, evals []Eval, objs []Objective) error {
+	rep := Report{Evals: evals}
+	if len(objs) > 0 {
+		for _, o := range objs {
+			dir := "min"
+			if o.Maximize {
+				dir = "max"
+			}
+			rep.Objectives = append(rep.Objectives, fmt.Sprintf("%s:%s", dir, o.Name))
+		}
+		rep.Ranks = Ranks(evals, objs)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rep)
+}

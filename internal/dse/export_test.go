@@ -1,0 +1,86 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func exportFixture(t *testing.T) []Eval {
+	t.Helper()
+	s := Space{Channels: []int{2, 4}, SpanBytes: 1 << 26, Requests: 100}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Eval{
+		{Point: pts[0], Result: core.Result{MBps: 150.5, MeanLatUS: 42, WAF: 1.5, Erases: 3, SimTime: 1234}},
+		{Point: pts[1], Result: core.Result{MBps: 300, MeanLatUS: 21, WAF: 1.2}, Cached: true},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	evals := exportFixture(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, evals); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
+	}
+	col := func(name string) int {
+		for i, h := range rows[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	if rows[1][col("channels")] != "2" || rows[2][col("channels")] != "4" {
+		t.Errorf("channels column wrong: %v / %v", rows[1], rows[2])
+	}
+	if rows[1][col("mbps")] != "150.5" {
+		t.Errorf("mbps column = %q", rows[1][col("mbps")])
+	}
+	if rows[2][col("cached")] != "true" {
+		t.Errorf("cached column = %q", rows[2][col("cached")])
+	}
+	if rows[1][col("pattern")] != trace.SeqWrite.String() {
+		t.Errorf("pattern column = %q", rows[1][col("pattern")])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	evals := exportFixture(t)
+	objs := mustObjectives(t, "mbps,waf")
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, evals, objs); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Evals) != 2 {
+		t.Fatalf("got %d evals", len(rep.Evals))
+	}
+	if rep.Evals[0].Result.MBps != 150.5 || rep.Evals[0].Point.Config.Channels != 2 {
+		t.Errorf("eval roundtrip mismatch: %+v", rep.Evals[0])
+	}
+	if len(rep.Ranks) != 2 || rep.Ranks[1] != 0 {
+		t.Errorf("ranks = %v", rep.Ranks)
+	}
+	if len(rep.Objectives) != 2 || rep.Objectives[0] != "max:mbps" || rep.Objectives[1] != "min:waf" {
+		t.Errorf("objectives = %v", rep.Objectives)
+	}
+}

@@ -1,0 +1,170 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Eval is the outcome of evaluating one Point. Results are deterministic
+// functions of the point except for the wall-clock fields (WallSeconds,
+// KCPS); compare evaluations with Normalize when determinism matters.
+type Eval struct {
+	Point  Point       `json:"point"`
+	Result core.Result `json:"result"`
+	Cached bool        `json:"cached"`
+	Err    string      `json:"err,omitempty"`
+}
+
+// Failed reports whether the evaluation errored.
+func (e Eval) Failed() bool { return e.Err != "" }
+
+// Normalize clears the wall-clock-dependent fields of a result so that two
+// evaluations of the same point compare equal byte-for-byte regardless of
+// scheduling, parallelism or host load.
+func Normalize(res core.Result) core.Result {
+	res.WallSeconds = 0
+	res.KCPS = 0
+	return res
+}
+
+// Runner evaluates design points on a goroutine worker pool. The zero value
+// runs the real simulator on every core with no cache.
+type Runner struct {
+	// Workers is the pool size; <= 0 selects runtime.NumCPU().
+	Workers int
+
+	// Cache, when set, short-circuits points whose content hash has
+	// already been evaluated and records fresh results for future sweeps.
+	Cache *Cache
+
+	// Evaluate computes one point. nil selects the real simulator
+	// (core.RunWorkload). Tests and dry runs substitute stubs.
+	Evaluate func(Point) (core.Result, error)
+
+	// OnProgress, when set, is called after each completed evaluation with
+	// the running completion count. Calls are serialised but arrive in
+	// completion order, not index order.
+	OnProgress func(done, total int, ev Eval)
+}
+
+// Run evaluates every point and returns the evaluations in input order —
+// the same slice a sequential loop would produce, whatever the pool size.
+// Per-point failures are recorded in Eval.Err; Run itself returns an error
+// only for cancellation or to summarise how many points failed.
+func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	evaluate := r.Evaluate
+	if evaluate == nil {
+		evaluate = func(pt Point) (core.Result, error) {
+			return core.RunWorkload(pt.Config, pt.Workload, pt.Mode)
+		}
+	}
+
+	evals := make([]Eval, len(pts))
+	processed := make([]bool, len(pts))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards done counter and OnProgress ordering
+	done := 0
+
+	worker := func() {
+		defer wg.Done()
+		for i := range jobs {
+			processed[i] = true
+			ev := Eval{Point: pts[i]}
+			key := ""
+			if r.Cache != nil {
+				key = pts[i].Key()
+				if res, ok := r.Cache.Get(key); ok {
+					ev.Result = res
+					ev.Cached = true
+				}
+			}
+			if !ev.Cached {
+				res, err := evaluate(pts[i])
+				if err != nil {
+					ev.Err = err.Error()
+				} else {
+					ev.Result = res
+					if r.Cache != nil {
+						// Cache the deterministic portion only: a hit
+						// must not replay the original run's wall-clock
+						// timings as if they were measured now.
+						r.Cache.Put(key, Normalize(res))
+					}
+				}
+			}
+			evals[i] = ev
+			if r.OnProgress != nil {
+				mu.Lock()
+				done++
+				r.OnProgress(done, len(pts), ev)
+				mu.Unlock()
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	var cancelled error
+feed:
+	for i := range pts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if cancelled != nil {
+		// Points never handed to a worker must not masquerade as
+		// zero-valued successes: callers that keep partial sweeps (e.g.
+		// cmd/explore) would rank and export them as real measurements.
+		for i := range evals {
+			if !processed[i] {
+				evals[i] = Eval{Point: pts[i], Err: "not evaluated: sweep cancelled"}
+			}
+		}
+		return evals, fmt.Errorf("dse: sweep cancelled: %w", cancelled)
+	}
+	failed := 0
+	first := ""
+	for _, ev := range evals {
+		if ev.Failed() {
+			failed++
+			if first == "" {
+				first = ev.Err
+			}
+		}
+	}
+	if failed > 0 {
+		return evals, fmt.Errorf("dse: %d of %d evaluations failed (first: %s)", failed, len(pts), first)
+	}
+	return evals, nil
+}
+
+// RunSpace enumerates the space and evaluates every point.
+func (r *Runner) RunSpace(ctx context.Context, s Space) ([]Eval, error) {
+	pts, err := s.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(ctx, pts)
+}

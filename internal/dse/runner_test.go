@@ -1,0 +1,206 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// smallSpace is a real-simulation space small enough for unit tests: eight
+// points covering topology, host interface and pattern axes.
+func smallSpace() Space {
+	return Space{
+		Channels:  []int{1, 2},
+		HostIF:    []string{"sata2", "pcie-g2x8"},
+		Patterns:  []trace.Pattern{trace.SeqWrite, trace.SeqRead},
+		SpanBytes: 1 << 26,
+		Requests:  300,
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-simulation comparison in -short mode")
+	}
+	pts, err := smallSpace().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRunner := &Runner{Workers: 1}
+	seq, err := seqRunner.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRunner := &Runner{Workers: 8}
+	par, err := parRunner.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("length mismatch: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a := Normalize(seq[i].Result)
+		b := Normalize(par[i].Result)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("point %d: parallel result differs from sequential:\nseq: %+v\npar: %+v", i, a, b)
+		}
+	}
+}
+
+func TestRunnerPreservesInputOrder(t *testing.T) {
+	var pts []Point
+	s := Space{}
+	base, err := s.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		pt := base
+		pt.Index = int64(i)
+		pts = append(pts, pt)
+	}
+	r := &Runner{
+		Workers: 16,
+		Evaluate: func(pt Point) (core.Result, error) {
+			return core.Result{MBps: float64(pt.Index)}, nil
+		},
+	}
+	evals, err := r.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range evals {
+		if ev.Result.MBps != float64(i) {
+			t.Fatalf("eval %d holds result for point %v", i, ev.Result.MBps)
+		}
+	}
+}
+
+func TestRunnerSweepsHundredPointSpace(t *testing.T) {
+	s := Space{
+		Channels:   []int{1, 2, 4},
+		Ways:       []int{1, 2, 4},
+		DiesPerWay: []int{1, 2, 4},
+		HostIF:     []string{"sata2", "pcie-g2x8"},
+		ECCScheme:  []string{"none", "fixed"},
+	}
+	if s.Size() < 100 {
+		t.Fatalf("fixture space too small: %d", s.Size())
+	}
+	var sims atomic.Int64
+	r := &Runner{
+		Workers: 8,
+		Evaluate: func(pt Point) (core.Result, error) {
+			sims.Add(1)
+			return core.Result{MBps: float64(pt.Config.Channels * pt.Config.Ways)}, nil
+		},
+	}
+	evals, err := r.RunSpace(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(evals)) != s.Size() || sims.Load() != s.Size() {
+		t.Fatalf("swept %d points with %d evaluations, want %d", len(evals), sims.Load(), s.Size())
+	}
+}
+
+func TestRunnerRecordsPerPointErrors(t *testing.T) {
+	s := Space{Channels: []int{1, 2, 4}}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Workers: 2,
+		Evaluate: func(pt Point) (core.Result, error) {
+			if pt.Config.Channels == 2 {
+				return core.Result{}, errors.New("boom")
+			}
+			return core.Result{MBps: 1}, nil
+		},
+	}
+	evals, err := r.Run(context.Background(), pts)
+	if err == nil {
+		t.Fatal("aggregate error not reported")
+	}
+	if len(evals) != 3 {
+		t.Fatalf("got %d evals", len(evals))
+	}
+	if !evals[1].Failed() || evals[0].Failed() || evals[2].Failed() {
+		t.Errorf("failure not attributed to the right point: %+v", evals)
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	s := Space{Channels: []int{1, 2, 4, 8}, Ways: []int{1, 2, 4, 8}}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	r := &Runner{
+		Workers: 1,
+		Evaluate: func(pt Point) (core.Result, error) {
+			if ran.Add(1) == 2 {
+				cancel()
+			}
+			return core.Result{}, nil
+		},
+	}
+	evals, err := r.Run(ctx, pts)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not surfaced: %v", err)
+	}
+	if ran.Load() >= int64(len(pts)) {
+		t.Errorf("all %d points ran despite cancellation", len(pts))
+	}
+	// Points never handed to a worker must read as failed, not as
+	// zero-valued successes that would pollute Pareto fronts and exports.
+	unfed := 0
+	for i, ev := range evals {
+		if ev.Point.Config.Name == "" {
+			t.Fatalf("eval %d lost its point", i)
+		}
+		if !ev.Failed() {
+			continue
+		}
+		unfed++
+		if ev.Err != "not evaluated: sweep cancelled" {
+			t.Errorf("eval %d error = %q", i, ev.Err)
+		}
+	}
+	if unfed == 0 {
+		t.Error("no evals marked unevaluated after cancellation")
+	}
+}
+
+func TestRunnerProgressCallback(t *testing.T) {
+	s := Space{Channels: []int{1, 2, 4}}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []string
+	r := &Runner{
+		Workers:  4,
+		Evaluate: func(pt Point) (core.Result, error) { return core.Result{}, nil },
+		OnProgress: func(done, total int, ev Eval) {
+			calls = append(calls, fmt.Sprintf("%d/%d", done, total))
+		},
+	}
+	if _, err := r.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1/3", "2/3", "3/3"}
+	if !reflect.DeepEqual(calls, want) {
+		t.Errorf("progress calls %v, want %v", calls, want)
+	}
+}

@@ -17,10 +17,13 @@
 package ssdx
 
 import (
+	"context"
+	"io"
 	"os"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dse"
 	"repro/internal/trace"
 )
 
@@ -45,6 +48,9 @@ const (
 	ModeHostDDR   = core.ModeHostDDR
 	ModeDDRFlash  = core.ModeDDRFlash
 )
+
+// WorkloadPattern is an IOZone-style access pattern (SW, SR, RW, RR).
+type WorkloadPattern = trace.Pattern
 
 // Pattern aliases for workload construction.
 const (
@@ -140,5 +146,72 @@ func RunTrace(cfg Config, reqs []trace.Request) (Result, error) {
 	return p.RunRequests(reqs)
 }
 
+// --- design-space exploration ----------------------------------------------
+//
+// The dse engine is the paper's headline workflow made first-class: describe
+// a parameter space, evaluate every point on a parallel worker pool with
+// content-hash result caching, and extract the Pareto-optimal designs.
+
+// Space describes a Cartesian design space over platform, workload and
+// measurement-mode axes.
+type Space = dse.Space
+
+// Point is one evaluable design point of a Space.
+type Point = dse.Point
+
+// Eval is the outcome of evaluating one Point.
+type Eval = dse.Eval
+
+// Runner evaluates design points on a goroutine worker pool.
+type Runner = dse.Runner
+
+// Cache memoises evaluations by content hash so overlapping sweeps are
+// incremental.
+type Cache = dse.Cache
+
+// Objective is one optimisation direction for Pareto analysis.
+type Objective = dse.Objective
+
+// NewCache returns an empty result cache.
+func NewCache() *Cache { return dse.NewCache() }
+
+// LoadResultCache opens a cache file written by Cache.Save, returning an
+// empty cache if the file does not exist yet.
+func LoadResultCache(path string) (*Cache, error) { return dse.LoadCache(path) }
+
+// ParseObjectives resolves a comma-separated objective list such as
+// "mbps,latency,waf".
+func ParseObjectives(spec string) ([]Objective, error) { return dse.ParseObjectives(spec) }
+
+// ParetoFront returns the non-dominated evaluations under the objectives.
+func ParetoFront(evals []Eval, objs []Objective) []Eval { return dse.Front(evals, objs) }
+
+// ParetoRanks assigns each evaluation its dominance depth (0 = front).
+func ParetoRanks(evals []Eval, objs []Objective) []int { return dse.Ranks(evals, objs) }
+
+// SortByParetoRank orders evaluations by dominance rank, best designs
+// first; failed evaluations sort last.
+func SortByParetoRank(evals []Eval, objs []Objective) []Eval {
+	return dse.SortByRank(evals, objs)
+}
+
+// WriteSweepCSV renders evaluations as one flat CSV table.
+func WriteSweepCSV(w io.Writer, evals []Eval) error { return dse.WriteCSV(w, evals) }
+
+// WriteSweepJSON renders evaluations (with dominance ranks under the
+// objectives) as an indented JSON report.
+func WriteSweepJSON(w io.Writer, evals []Eval, objs []Objective) error {
+	return dse.WriteJSON(w, evals, objs)
+}
+
+// Explore enumerates the space and evaluates every point on workers
+// goroutines (<= 0 selects one per core). It is the one-call sweep used by
+// cmd/explore; callers needing caching, sampling, progress or cancellation
+// compose a Runner directly.
+func Explore(ctx context.Context, s Space, workers int) ([]Eval, error) {
+	r := &Runner{Workers: workers}
+	return r.RunSpace(ctx, s)
+}
+
 // Version identifies the reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"
