@@ -5,6 +5,7 @@ package ssdx
 // relies on; the full-scale published numbers live in EXPERIMENTS.md.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,8 +50,11 @@ func TestRunEndToEnd(t *testing.T) {
 	if res.MBps <= 0 || res.Completed != 2000 {
 		t.Fatalf("result %+v", res)
 	}
-	if res.MeanLatUS <= 0 || res.P99LatUS < res.MeanLatUS {
-		t.Fatalf("latency stats: mean %v p99 %v", res.MeanLatUS, res.P99LatUS)
+	if res.AllLat.MeanUS <= 0 || res.AllLat.P99US <= 0 {
+		t.Fatalf("latency stats: %+v", res.AllLat)
+	}
+	if res.WriteLat.Ops != res.Completed || res.ReadLat.Ops != 0 {
+		t.Fatalf("per-op latency classes: %+v / %+v", res.WriteLat, res.ReadLat)
 	}
 }
 
@@ -249,5 +253,242 @@ func TestBuildExposesPlatform(t *testing.T) {
 	}
 	if p.Host == nil || p.CPU == nil || p.Bus == nil || len(p.Channels) != 4 {
 		t.Fatalf("platform components missing")
+	}
+}
+
+// TestMixedZipfOpenLoopEndToEnd is the PR's acceptance scenario: a 70/30
+// read/write zipfian open-loop workload runs end-to-end through the full
+// platform and reports per-op-class latency percentiles.
+func TestMixedZipfOpenLoopEndToEnd(t *testing.T) {
+	w, err := NewWorkload("RR", 4096, 1<<26, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteFrac = 0.3 // 70% reads, 30% writes
+	if w.Skew, err = ParseSkew("zipf:0.99"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Arrival, err = ParseArrival("poisson:20000"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(DefaultConfig(), w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1500 {
+		t.Fatalf("completed %d of 1500", res.Completed)
+	}
+	if res.ReadLat.Ops == 0 || res.WriteLat.Ops == 0 ||
+		res.ReadLat.Ops+res.WriteLat.Ops != 1500 {
+		t.Fatalf("op classes: reads %d writes %d", res.ReadLat.Ops, res.WriteLat.Ops)
+	}
+	frac := float64(res.WriteLat.Ops) / 1500
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("write fraction %.2f, want ~0.3", frac)
+	}
+	if res.ReadLat.P99US <= 0 || res.WriteLat.P99US <= 0 || res.AllLat.P999US <= 0 {
+		t.Fatalf("per-op percentiles missing: %+v / %+v", res.ReadLat, res.WriteLat)
+	}
+	// Open loop at 20k IOPS: 1500 requests arrive over ~75ms, so the run
+	// must span at least that long (a closed-loop run finishes much sooner).
+	if res.SimTime.Milliseconds() < 60 {
+		t.Fatalf("open-loop run finished in %v; arrivals ignored", res.SimTime)
+	}
+}
+
+// TestWorkloadShapeSweep: the same scenario is sweepable as dse.Space axes,
+// with per-op p99 latency in the exported results.
+func TestWorkloadShapeSweep(t *testing.T) {
+	zipf, _ := ParseSkew("zipf:0.99")
+	poisson, _ := ParseArrival("poisson:20000")
+	space := Space{
+		Base:       DefaultConfig(),
+		SpanBytes:  1 << 24,
+		Requests:   400,
+		Patterns:   []WorkloadPattern{RandRead},
+		WriteFracs: []float64{0.3},
+		Skews:      []Skew{{}, zipf},
+		Arrivals:   []Arrival{{}, poisson},
+	}
+	evals, err := Explore(context.Background(), space, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 4 {
+		t.Fatalf("evaluated %d points, want 4", len(evals))
+	}
+	var csv strings.Builder
+	if err := WriteSweepCSV(&csv, evals); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	for _, col := range []string{"write_frac", "skew", "arrival", "read_p99_us", "write_p99_us", "p999_lat_us"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("exported CSV missing column %q:\n%s", col, out)
+		}
+	}
+	if !strings.Contains(out, "zipf:0.99") || !strings.Contains(out, "poisson:20000") {
+		t.Fatalf("workload shape not exported:\n%s", out)
+	}
+	for _, ev := range evals {
+		if ev.Result.ReadLat.P99US <= 0 || ev.Result.WriteLat.P99US <= 0 {
+			t.Fatalf("point %s missing per-op p99: %+v / %+v",
+				ev.Point.Describe(), ev.Result.ReadLat, ev.Result.WriteLat)
+		}
+	}
+	// The p99 objectives rank the sweep.
+	objs, err := ParseObjectives("mbps,readp99,writep99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front := ParetoFront(evals, objs); len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+}
+
+// TestPhasedWorkloadEndToEnd: precondition (sequential writes) then measure
+// (random reads) as one streamed scenario.
+func TestPhasedWorkloadEndToEnd(t *testing.T) {
+	pre, _ := NewWorkload("SW", 4096, 1<<24, 600)
+	measure, _ := NewWorkload("RR", 4096, 1<<24, 600)
+	res, err := Run(DefaultConfig(), Workload{Phases: []Workload{pre, measure}}, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1200 {
+		t.Fatalf("completed %d of 1200", res.Completed)
+	}
+	if res.ReadLat.Ops != 600 || res.WriteLat.Ops != 600 {
+		t.Fatalf("op classes: %d reads / %d writes", res.ReadLat.Ops, res.WriteLat.Ops)
+	}
+}
+
+// TestStreamedReplayEndToEnd: a trace file replayed through the streaming
+// generator path (TracePath spec), not the materialised RunTrace helper.
+func TestStreamedReplayEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	w, _ := NewWorkload("SW", 4096, 1<<24, 800)
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceFile(path, reqs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(DefaultConfig(), Workload{TracePath: path, SpanBytes: 1 << 24}, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 800 || res.Requests != 800 {
+		t.Fatalf("streamed replay completed %d (requests %d)", res.Completed, res.Requests)
+	}
+}
+
+// TestPreconditionThenOpenLoopPacing: after a device-paced precondition
+// phase, the measure phase's open-loop clock must start at the phase
+// boundary (not at t=0, which would collapse the pacing into a burst).
+func TestPreconditionThenOpenLoopPacing(t *testing.T) {
+	// No-cache policy: issuance is device-paced end to end, so the phase
+	// boundary lands at the precondition's real finish time.
+	cfg := DefaultConfig()
+	cfg.CachePolicy = "nocache"
+	pre, _ := NewWorkload("SW", 4096, 1<<24, 4000)
+	preOnly, err := Run(cfg, pre, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure, _ := NewWorkload("RR", 4096, 1<<24, 200)
+	measure.Arrival, _ = ParseArrival("poisson:2000") // 200 reqs over ~100 ms
+	res, err := Run(cfg, Workload{Phases: []Workload{pre, measure}}, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4200 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	// With the rebase the run spans precondition + ~100 ms of paced
+	// arrivals; without it the measure arrivals land in the past and the
+	// whole run collapses toward max(precondition, 100 ms).
+	if res.SimTime.Milliseconds() < preOnly.SimTime.Milliseconds()+90 {
+		t.Fatalf("phased run %v shorter than precondition %v + paced measure window",
+			res.SimTime, preOnly.SimTime)
+	}
+}
+
+// TestPhasedReplayNeedsSpan: a replay phase without SpanBytes must be
+// rejected up front on a non-mapper platform, like a bare replay spec.
+func TestPhasedReplayNeedsSpan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	w, _ := NewWorkload("SW", 4096, 1<<24, 10)
+	reqs, _ := w.Generate()
+	if err := WriteTraceFile(path, reqs); err != nil {
+		t.Fatal(err)
+	}
+	pre, _ := NewWorkload("SW", 4096, 1<<24, 10)
+	_, err := Run(DefaultConfig(), Workload{Phases: []Workload{pre, {TracePath: path}}}, ModeFull)
+	if err == nil {
+		t.Fatal("phased replay without SpanBytes accepted on a non-mapper platform")
+	}
+	if _, err := Run(DefaultConfig(), Workload{TracePath: path}, ModeFull); err == nil {
+		t.Fatal("bare replay without SpanBytes accepted")
+	}
+}
+
+// TestScanTraceFileClassifies: the streaming pre-scan matches the
+// materialised RunTrace classification used by ssdexplorer -trace.
+func TestScanTraceFileClassifies(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	w, _ := NewWorkload("SW", 4096, 1<<24, 500)
+	reqs, _ := w.Generate()
+	if err := WriteTraceFile(path, reqs); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ScanTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Requests != 500 || info.RandomWrites {
+		t.Fatalf("scan: %+v", info)
+	}
+	// Streaming replay with the sequential hint matches RunTrace's WAF.
+	res, err := Run(DefaultConfig(), Workload{
+		TracePath: path, SpanBytes: 1 << 24, ReplaySeqWrites: !info.RandomWrites,
+	}, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WAF != 1 {
+		t.Fatalf("sequential streamed replay WAF %.2f, want 1", res.WAF)
+	}
+}
+
+// TestWriteOnlyReplayWithoutSpan: a trace with no reads replays on a
+// non-mapper platform without fabricating a SpanBytes (ReplayNoReads).
+func TestWriteOnlyReplayWithoutSpan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	w, _ := NewWorkload("SW", 4096, 1<<24, 300)
+	reqs, _ := w.Generate()
+	if err := WriteTraceFile(path, reqs); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ScanTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReadSpanBytes != 0 {
+		t.Fatalf("write-only trace scanned read span %d", info.ReadSpanBytes)
+	}
+	res, err := Run(DefaultConfig(), Workload{
+		TracePath: path, ReplaySeqWrites: !info.RandomWrites, ReplayNoReads: true,
+	}, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 300 || res.WAF != 1 {
+		t.Fatalf("write-only replay: completed %d WAF %.2f", res.Completed, res.WAF)
 	}
 }

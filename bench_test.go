@@ -16,6 +16,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // --- one bench per paper table/figure --------------------------------------
@@ -109,7 +110,7 @@ func BenchmarkFig6SimSpeed(b *testing.B) {
 	cfgs := config.TableIII()[:6]
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range cfgs {
-			w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096,
+			w := workload.Spec{Pattern: trace.SeqWrite, BlockSize: 4096,
 				SpanBytes: 1 << 28, Requests: 600, Seed: 7}
 			res, err := core.RunWorkload(cfg, w, core.ModeFull)
 			if err != nil {
@@ -129,7 +130,7 @@ func benchRun(b *testing.B, cfg config.Platform, pat trace.Pattern, reqs int, mo
 	b.Helper()
 	var last float64
 	for i := 0; i < b.N; i++ {
-		w := trace.WorkloadSpec{Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 28, Requests: reqs, Seed: 7}
+		w := workload.Spec{Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 28, Requests: reqs, Seed: 7}
 		res, err := core.RunWorkload(cfg, w, mode)
 		if err != nil {
 			b.Fatal(err)

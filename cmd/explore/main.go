@@ -40,10 +40,13 @@ func main() {
 		cachepol = flag.String("cachepol", "", "comma-separated buffer policies (cache, nocache)")
 		patterns = flag.String("pattern", "SW", "comma-separated workload patterns (SW, SR, RW, RR)")
 		blocks   = flag.String("block", "4096", "comma-separated request sizes in bytes")
+		mixes    = flag.String("mix", "", "comma-separated write fractions for mixed read/write traffic (empty = pattern direction)")
+		skews    = flag.String("skew", "", "comma-separated address skews (uniform, zipf:<theta>, hotspot:<frac>:<prob>)")
+		arrivals = flag.String("arrival", "", "comma-separated arrival processes (closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>)")
 		span     = flag.Int64("span", 1<<28, "addressable span in bytes")
 		requests = flag.Int("requests", 2000, "requests per point")
 		preset   = flag.String("preset", "default", "base configuration preset for unswept axes")
-		objSpec  = flag.String("objectives", "mbps,latency,waf", "Pareto objectives (mbps, ramp, latency, p99, waf, erases, wearout, gc, events)")
+		objSpec  = flag.String("objectives", "mbps,latency,waf", "Pareto objectives (mbps, ramp, latency, p99, p999, readp99, writep99, waf, erases, wearout, gc, events)")
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel workers")
 		sample   = flag.Int("sample", 0, "evaluate only N seeded-random points of the space (0 = all)")
 		seed     = flag.Uint64("seed", 1, "sampling seed")
@@ -94,6 +97,27 @@ func main() {
 		for _, b := range bs {
 			space.BlockSizes = append(space.BlockSizes, int64(b))
 		}
+	}
+	for _, m := range words(*mixes) {
+		v, err := strconv.ParseFloat(m, 64)
+		if err != nil {
+			fatal(fmt.Errorf("-mix: %w", err))
+		}
+		space.WriteFracs = append(space.WriteFracs, v)
+	}
+	for _, s := range words(*skews) {
+		sk, err := ssdx.ParseSkew(s)
+		if err != nil {
+			fatal(err)
+		}
+		space.Skews = append(space.Skews, sk)
+	}
+	for _, a := range words(*arrivals) {
+		ar, err := ssdx.ParseArrival(a)
+		if err != nil {
+			fatal(err)
+		}
+		space.Arrivals = append(space.Arrivals, ar)
 	}
 
 	objs, err := ssdx.ParseObjectives(*objSpec)
@@ -196,8 +220,8 @@ func printTable(evals []ssdx.Eval, objs []ssdx.Objective, frontOnly bool) {
 		}
 		return i < j
 	})
-	fmt.Printf("%-6s %-5s %-44s %10s %12s %8s %8s\n",
-		"point", "rank", "design", "MB/s", "mean-lat-us", "WAF", "cached")
+	fmt.Printf("%-6s %-5s %-44s %10s %12s %10s %8s %8s\n",
+		"point", "rank", "design", "MB/s", "mean-lat-us", "p99-us", "WAF", "cached")
 	for _, i := range order {
 		ev, r := evals[i], ranks[i]
 		if frontOnly && r != 0 {
@@ -211,9 +235,10 @@ func printTable(evals []ssdx.Eval, objs []ssdx.Objective, frontOnly bool) {
 			fmt.Printf("%-6s %-5s %-44s failed: %s\n", label, "-", ev.Point.Describe(), ev.Err)
 			continue
 		}
-		fmt.Printf("%-6s %-5d %-44s %10.1f %12.1f %8.2f %8v\n",
+		fmt.Printf("%-6s %-5d %-44s %10.1f %12.1f %10.1f %8.2f %8v\n",
 			label, r, ev.Point.Describe(),
-			ev.Result.MBps, ev.Result.MeanLatUS, ev.Result.WAF, ev.Cached)
+			ev.Result.MBps, ev.Result.AllLat.MeanUS, ev.Result.AllLat.P99US,
+			ev.Result.WAF, ev.Cached)
 	}
 }
 

@@ -6,6 +6,8 @@
 //
 //	ssdexplorer -preset vertex -pattern SW -requests 20000
 //	ssdexplorer -preset t2:C6 -mode ddr+flash
+//	ssdexplorer -pattern RR -mix 0.3 -skew zipf:0.99 -arrival poisson:30000
+//	ssdexplorer -pattern RW -precondition 4000 -requests 8000
 //	ssdexplorer -config my.cfg -trace workload.trace
 //	ssdexplorer -preset vertex -dumpconfig
 //	ssdexplorer -features
@@ -27,6 +29,11 @@ func main() {
 		block      = flag.Int64("block", 4096, "request payload in bytes")
 		span       = flag.Int64("span", 1<<28, "addressable span exercised, bytes")
 		requests   = flag.Int("requests", 12000, "number of requests")
+		seed       = flag.Uint64("seed", 1, "workload generator seed")
+		mix        = flag.Float64("mix", 0, "write fraction for mixed read/write traffic (0 = pattern direction)")
+		skew       = flag.String("skew", "", "address skew: uniform, zipf:<theta>, hotspot:<frac>:<prob>")
+		arrival    = flag.String("arrival", "", "arrival process: closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>")
+		precond    = flag.Int("precondition", 0, "sequential-write requests issued as a phase before the measured workload")
 		mode       = flag.String("mode", "ssd", "measurement mode: ssd, host-ideal, host+ddr, ddr+flash")
 		tracePath  = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
 		dump       = flag.Bool("dumpconfig", false, "print the resolved configuration and exit")
@@ -51,13 +58,28 @@ func main() {
 		return
 	}
 
+	m, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
 	var res ssdx.Result
 	if *tracePath != "" {
-		reqs, err := ssdx.ParseTraceFile(*tracePath)
+		// Streaming replay: one constant-memory pre-scan classifies the
+		// write pattern (WAF) and read extent, then the file streams
+		// through the platform as just another generator. The preload
+		// covers exactly the trace's observed read extent.
+		info, err := ssdx.ScanTraceFile(*tracePath)
 		if err != nil {
 			fatal(err)
 		}
-		res, err = ssdx.RunTrace(cfg, reqs)
+		w := ssdx.Workload{
+			TracePath:       *tracePath,
+			SpanBytes:       info.ReadSpanBytes,
+			ReplaySeqWrites: !info.RandomWrites,
+			ReplayNoReads:   info.ReadSpanBytes == 0,
+		}
+		res, err = ssdx.Run(cfg, w, m)
 		if err != nil {
 			fatal(err)
 		}
@@ -66,9 +88,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		m, err := parseMode(*mode)
-		if err != nil {
+		w.Seed = *seed
+		w.WriteFrac = *mix
+		if w.Skew, err = ssdx.ParseSkew(*skew); err != nil {
 			fatal(err)
+		}
+		if w.Arrival, err = ssdx.ParseArrival(*arrival); err != nil {
+			fatal(err)
+		}
+		if *precond > 0 {
+			measure := w
+			pre := ssdx.Workload{
+				Pattern: ssdx.SeqWrite, BlockSize: *block, SpanBytes: *span,
+				Requests: *precond, Seed: *seed,
+			}
+			w = ssdx.Workload{Phases: []ssdx.Workload{pre, measure}}
 		}
 		res, err = ssdx.Run(cfg, w, m)
 		if err != nil {
@@ -77,7 +111,17 @@ func main() {
 	}
 
 	fmt.Println(res)
+	printLat := func(class string, s ssdx.LatencyStats) {
+		if s.Ops == 0 {
+			return
+		}
+		fmt.Printf("  %-5s lat us: mean %.1f  p50 %.1f  p99 %.1f  p999 %.1f  max %.1f (%d ops)\n",
+			class, s.MeanUS, s.P50US, s.P99US, s.P999US, s.MaxUS, s.Ops)
+	}
+	printLat("read", res.ReadLat)
+	printLat("write", res.WriteLat)
 	if *verbose {
+		printLat("all", res.AllLat)
 		fmt.Printf("  steady %.1f MB/s (whole-run %.1f)\n", res.MBps, res.RampMBps)
 		fmt.Printf("  sim time %v, wall %.2fs, %d events, %.0f KCPS\n",
 			res.SimTime, res.WallSeconds, res.Events, res.KCPS)

@@ -1,6 +1,13 @@
 // Command tracegen generates host I/O trace files in the canonical text
-// format from IOZone-style synthetic workload specifications, for replay via
-// `ssdexplorer -trace`.
+// format from streaming workload specifications — IOZone-style patterns
+// plus mixed read/write ratios, zipfian/hotspot skew and open-loop arrival
+// processes — for replay via `ssdexplorer -trace`. The generator streams
+// straight to disk, so arbitrarily long traces never materialise in memory.
+//
+// Examples:
+//
+//	tracegen -pattern RW -requests 100000
+//	tracegen -pattern RR -mix 0.3 -skew zipf:0.99 -arrival poisson:50000
 package main
 
 import (
@@ -19,6 +26,9 @@ func main() {
 		span     = flag.Int64("span", 1<<28, "addressable span, bytes")
 		requests = flag.Int("requests", 10000, "request count")
 		seed     = flag.Uint64("seed", 1, "generator seed")
+		mix      = flag.Float64("mix", 0, "write fraction for mixed traffic (0 = pattern direction)")
+		skew     = flag.String("skew", "", "address skew: uniform, zipf:<theta>, hotspot:<frac>:<prob>")
+		arrival  = flag.String("arrival", "", "arrival process: closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>")
 		out      = flag.String("o", "workload.trace", "output path")
 	)
 	flag.Parse()
@@ -26,15 +36,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	w := trace.WorkloadSpec{Pattern: p, BlockSize: *block, SpanBytes: *span, Requests: *requests, Seed: *seed}
-	reqs, err := w.Generate()
+	w := ssdx.Workload{
+		Pattern: p, BlockSize: *block, SpanBytes: *span,
+		Requests: *requests, Seed: *seed, WriteFrac: *mix,
+	}
+	if w.Skew, err = ssdx.ParseSkew(*skew); err != nil {
+		fatal(err)
+	}
+	if w.Arrival, err = ssdx.ParseArrival(*arrival); err != nil {
+		fatal(err)
+	}
+	gen, err := ssdx.NewGenerator(w)
 	if err != nil {
 		fatal(err)
 	}
-	if err := ssdx.WriteTraceFile(*out, reqs); err != nil {
+	f, err := os.Create(*out)
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %d requests (%d MB) to %s\n", len(reqs), w.TotalBytes()>>20, *out)
+	n, err := trace.WriteReader(f, gen)
+	if err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d requests (%s, %d MB) to %s\n", n, w.Describe(), w.TotalBytes()>>20, *out)
 }
 
 func fatal(err error) {

@@ -44,7 +44,7 @@ func main() {
 	fmt.Printf("%-44s %10s %12s %6s\n", "design", "MB/s", "mean-lat-us", "dies")
 	for _, ev := range front {
 		fmt.Printf("%-44s %10.1f %12.1f %6d\n",
-			ev.Point.Describe(), ev.Result.MBps, ev.Result.MeanLatUS,
+			ev.Point.Describe(), ev.Result.MBps, ev.Result.AllLat.MeanUS,
 			ev.Point.Config.TotalDies())
 	}
 

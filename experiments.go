@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // This file implements the paper's evaluation harness: one function per
@@ -45,7 +46,7 @@ func Fig2Validation(scale float64) ([]Fig2Row, error) {
 	reqs := scaled(20000, scale)
 	var rows []Fig2Row
 	for _, pat := range []trace.Pattern{trace.SeqWrite, trace.SeqRead, trace.RandWrite, trace.RandRead} {
-		w := trace.WorkloadSpec{
+		w := workload.Spec{
 			Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 28, Requests: reqs, Seed: 7,
 		}
 		res, err := core.RunWorkload(config.Vertex(), w, core.ModeFull)
@@ -91,7 +92,7 @@ func expRunner() *dse.Runner {
 // times five columns run as one parallel sweep on the dse engine.
 func DesignSpaceExploration(host string, scale float64) ([]DSERow, error) {
 	cfgs := config.TableII()
-	w := trace.WorkloadSpec{
+	w := workload.Spec{
 		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 30, Seed: 7,
 	}
 	// Five points per configuration, in column order. Wire-bound columns
@@ -164,7 +165,7 @@ func WearoutSweep(points int, scale float64) ([]WearRow, error) {
 		cfg.ECCEngines = 1
 		cfg.ECCLatency = "bit-serial"
 		cfg.Wear = wear
-		w := trace.WorkloadSpec{Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 27, Requests: reqs, Seed: 7}
+		w := workload.Spec{Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 27, Requests: reqs, Seed: 7}
 		return dse.Point{Config: cfg, Workload: w, Mode: core.ModeFull}
 	}
 	const series = 4 // fixed R, fixed W, adaptive R, adaptive W
@@ -221,7 +222,7 @@ func SimulationSpeed(scale float64) ([]SpeedRow, error) {
 	reqs := scaled(3000, scale)
 	var rows []SpeedRow
 	for _, cfg := range config.TableIII() {
-		w := trace.WorkloadSpec{
+		w := workload.Spec{
 			Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 28, Requests: reqs, Seed: 7,
 		}
 		res, err := core.RunWorkload(cfg, w, core.ModeFull)

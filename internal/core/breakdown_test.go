@@ -5,13 +5,14 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // TestDrainReadMode: the DDR+FLASH column also works in the read direction
 // (flash fill rate), used by read-path ablations.
 func TestDrainReadMode(t *testing.T) {
 	cfg := config.Default()
-	w := trace.WorkloadSpec{Pattern: trace.SeqRead, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 4000, Seed: 7}
+	w := workload.Spec{Pattern: trace.SeqRead, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 4000, Seed: 7}
 	res, err := RunWorkload(cfg, w, ModeDDRFlash)
 	if err != nil {
 		t.Fatal(err)
@@ -20,7 +21,7 @@ func TestDrainReadMode(t *testing.T) {
 		t.Fatalf("read drain %+v", res)
 	}
 	// Read drain must beat write drain (tREAD << tPROG).
-	wr, err := RunWorkload(cfg, trace.WorkloadSpec{
+	wr, err := RunWorkload(cfg, workload.Spec{
 		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 4000, Seed: 7,
 	}, ModeDDRFlash)
 	if err != nil {
@@ -37,7 +38,7 @@ func TestQueueDepthOverride(t *testing.T) {
 	deep.CachePolicy = "nocache"
 	shallow := deep
 	shallow.QueueDepth = 1
-	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 600, Seed: 7}
+	w := workload.Spec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 600, Seed: 7}
 	d, err := RunWorkload(deep, w, ModeFull)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +63,7 @@ func TestMultiLayerAHBRaisesPCIeCeiling(t *testing.T) {
 	}
 	base, _ := config.Preset("t2:C10")
 	base.HostIF = "pcie-g2x8"
-	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 30, Requests: 12000, Seed: 7}
+	w := workload.Spec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 30, Requests: 12000, Seed: 7}
 	one, err := RunWorkload(base, w, ModeFull)
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +83,7 @@ func TestMultiLayerAHBRaisesPCIeCeiling(t *testing.T) {
 // NAND traffic together, lifting flash-bound writes like channel placement.
 func TestHostCompressionPlacement(t *testing.T) {
 	base, _ := config.Preset("t2:C1")
-	plain, err := RunWorkload(base, trace.WorkloadSpec{
+	plain, err := RunWorkload(base, workload.Spec{
 		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 27, Requests: 8000, Seed: 7,
 	}, ModeFull)
 	if err != nil {
@@ -91,7 +92,7 @@ func TestHostCompressionPlacement(t *testing.T) {
 	comp := base
 	comp.CompressPlacement = "host"
 	comp.CompressRatio = 0.5
-	boosted, err := RunWorkload(comp, trace.WorkloadSpec{
+	boosted, err := RunWorkload(comp, workload.Spec{
 		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 27, Requests: 8000, Seed: 7,
 	}, ModeFull)
 	if err != nil {
@@ -105,7 +106,7 @@ func TestHostCompressionPlacement(t *testing.T) {
 // TestLatencyReporting: full runs report host-perceived latency, and the
 // no-cache policy shows much higher write latency than caching.
 func TestLatencyReporting(t *testing.T) {
-	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 2000, Seed: 7}
+	w := workload.Spec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 2000, Seed: 7}
 	cached, err := RunWorkload(config.Vertex(), w, ModeFull)
 	if err != nil {
 		t.Fatal(err)
@@ -113,20 +114,27 @@ func TestLatencyReporting(t *testing.T) {
 	nc := config.Vertex()
 	nc.CachePolicy = "nocache"
 	nc.MultiPlane = false
-	uncached, err := RunWorkload(nc, trace.WorkloadSpec{
+	uncached, err := RunWorkload(nc, workload.Spec{
 		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 800, Seed: 7,
 	}, ModeFull)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached.MeanLatUS <= 0 || uncached.MeanLatUS <= 0 {
-		t.Fatalf("latencies missing: %v %v", cached.MeanLatUS, uncached.MeanLatUS)
+	if cached.AllLat.MeanUS <= 0 || uncached.AllLat.MeanUS <= 0 {
+		t.Fatalf("latencies missing: %v %v", cached.AllLat.MeanUS, uncached.AllLat.MeanUS)
+	}
+	// Pure-write run: the write-class stats carry the whole distribution.
+	if cached.WriteLat.Ops != cached.Completed || cached.ReadLat.Ops != 0 {
+		t.Fatalf("op-class counts wrong: %+v / %+v", cached.WriteLat, cached.ReadLat)
+	}
+	if cached.WriteLat.P99US < cached.WriteLat.P50US {
+		t.Fatalf("write p99 %v below p50 %v", cached.WriteLat.P99US, cached.WriteLat.P50US)
 	}
 	// No-cache write latency includes tPROG (~1-2.4ms); cached must be far
 	// below it in steady state... cached latency includes cache-full
 	// queueing, so compare against the program time scale instead.
-	if uncached.MeanLatUS < 900 {
-		t.Fatalf("no-cache mean latency %v us below tPROG", uncached.MeanLatUS)
+	if uncached.AllLat.MeanUS < 900 {
+		t.Fatalf("no-cache mean latency %v us below tPROG", uncached.AllLat.MeanUS)
 	}
 }
 
@@ -135,7 +143,7 @@ func TestDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	w := trace.WorkloadSpec{Pattern: trace.RandWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 3000, Seed: 11}
+	w := workload.Spec{Pattern: trace.RandWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 3000, Seed: 11}
 	a, err := RunWorkload(config.Vertex(), w, ModeFull)
 	if err != nil {
 		t.Fatal(err)

@@ -7,12 +7,13 @@ import (
 	"repro/internal/config"
 	"repro/internal/hostif"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // run4k is a helper running a 4 KB workload on a config.
 func run4k(t *testing.T, cfg config.Platform, pat trace.Pattern, reqs int, mode Mode) Result {
 	t.Helper()
-	w := trace.WorkloadSpec{Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 28, Requests: reqs, Seed: 7}
+	w := workload.Spec{Pattern: pat, BlockSize: 4096, SpanBytes: 1 << 28, Requests: reqs, Seed: 7}
 	res, err := RunWorkload(cfg, w, mode)
 	if err != nil {
 		t.Fatalf("%v %v: %v", pat, mode, err)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // mapperCfg is a Vertex-class platform running the real page-mapped FTL
@@ -21,7 +22,7 @@ func mapperCfg() config.Platform {
 }
 
 func TestMapperModeSequential(t *testing.T) {
-	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 6000, Seed: 7}
+	w := workload.Spec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 6000, Seed: 7}
 	res, err := RunWorkload(mapperCfg(), w, ModeFull)
 	if err != nil {
 		t.Fatal(err)
@@ -45,7 +46,7 @@ func TestMapperModeRandomGC(t *testing.T) {
 	// Span sized above the managed capacity share so random overwrites
 	// force real garbage collection.
 	cfg := mapperCfg()
-	w := trace.WorkloadSpec{Pattern: trace.RandWrite, BlockSize: 4096, SpanBytes: 96 << 20, Requests: 40000, Seed: 7}
+	w := workload.Spec{Pattern: trace.RandWrite, BlockSize: 4096, SpanBytes: 96 << 20, Requests: 40000, Seed: 7}
 	res, err := RunWorkload(cfg, w, ModeFull)
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +58,7 @@ func TestMapperModeRandomGC(t *testing.T) {
 		t.Fatalf("measured WAF %.2f under random overwrites", res.WAF)
 	}
 	// Random throughput must fall below sequential (GC steals bandwidth).
-	seq, err := RunWorkload(mapperCfg(), trace.WorkloadSpec{
+	seq, err := RunWorkload(mapperCfg(), workload.Spec{
 		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 25, Requests: 40000, Seed: 7,
 	}, ModeFull)
 	if err != nil {
@@ -143,7 +144,7 @@ func TestFirmwareCPUModel(t *testing.T) {
 	// model (the table walk runs on the interpreter instead).
 	cfg := config.Vertex()
 	cfg.CPUModel = "firmware"
-	w := trace.WorkloadSpec{Pattern: trace.RandRead, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 4000, Seed: 7}
+	w := workload.Spec{Pattern: trace.RandRead, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 4000, Seed: 7}
 	fw, err := RunWorkload(cfg, w, ModeFull)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +171,7 @@ func TestFirmwareCPUModel(t *testing.T) {
 func TestFirmwareCPUModelWrites(t *testing.T) {
 	cfg := config.Vertex()
 	cfg.CPUModel = "firmware"
-	w := trace.WorkloadSpec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 3000, Seed: 7}
+	w := workload.Spec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 3000, Seed: 7}
 	res, err := RunWorkload(cfg, w, ModeFull)
 	if err != nil {
 		t.Fatal(err)

@@ -23,7 +23,6 @@ import (
 	"repro/internal/hostif"
 	"repro/internal/nand"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Mode selects what part of the platform a run exercises — the paper's
@@ -477,13 +476,14 @@ func (p *Platform) flushPartialBatches() {
 
 var errStalled = errors.New("core: simulation stalled before completing the workload")
 
-// resolveWAF sets the FTL abstraction's amplification for the workload
-// pattern (sequential traffic ~1, random traffic the greedy steady state).
-func (p *Platform) resolveWAF(pattern trace.Pattern) error {
+// resolveWAF sets the FTL abstraction's amplification for the workload's
+// write-address behaviour (sequential traffic ~1, random traffic the greedy
+// steady state).
+func (p *Platform) resolveWAF(randomWrites bool) error {
 	waf := p.Cfg.WAFOverride
 	if waf == 0 {
 		var err error
-		waf, err = ftl.ForPattern(pattern.IsRandom() && pattern.IsWrite(), p.Cfg.SpareFactor)
+		waf, err = ftl.ForPattern(randomWrites, p.Cfg.SpareFactor)
 		if err != nil {
 			return err
 		}

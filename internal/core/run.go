@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/compress"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/nand"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Result is the outcome of one platform run.
@@ -20,6 +22,7 @@ type Result struct {
 	Topology string
 	Mode     Mode
 	Pattern  trace.Pattern
+	Workload string // compact workload description (mix, skew, arrival, ...)
 
 	Requests   int
 	BlockBytes int64
@@ -35,9 +38,12 @@ type Result struct {
 	KCPS        float64
 	Events      uint64
 
-	// Command latency (host-perceived), microseconds.
-	MeanLatUS float64
-	P99LatUS  float64
+	// Per-op-class command latency (host-perceived, queued-to-completion,
+	// microseconds): reads and writes measured separately plus the
+	// combined distribution over every op class.
+	ReadLat  workload.LatStats
+	WriteLat workload.LatStats
+	AllLat   workload.LatStats
 
 	// Microarchitectural observability (the paper's FGDSE purpose).
 	WAF           float64
@@ -54,21 +60,34 @@ type Result struct {
 
 // String renders a one-line summary.
 func (r Result) String() string {
+	label := r.Workload
+	if label == "" {
+		label = r.Pattern.String()
+	}
 	return fmt.Sprintf("%-8s %-22s %-9s %s: %8.1f MB/s (sim %v, %d reqs, WAF %.2f)",
-		r.Config, r.Topology, r.Mode, r.Pattern, r.MBps, r.SimTime, r.Requests, r.WAF)
+		r.Config, r.Topology, r.Mode, label, r.MBps, r.SimTime, r.Requests, r.WAF)
 }
 
 // Run executes the workload on the platform in the given mode and returns
-// the measured result. The platform is single-use.
-func (p *Platform) Run(w trace.WorkloadSpec, mode Mode) (Result, error) {
+// the measured result. The platform is single-use. The workload streams
+// through the platform one request at a time — synthetic patterns, mixed
+// ratios, skewed addressing, open-loop arrivals, multi-phase scenarios and
+// trace replay all ride the same pull-based generator path.
+func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 	if err := w.Validate(); err != nil {
 		return Result{}, err
 	}
-	if err := p.resolveWAF(w.Pattern); err != nil {
+	if mode == ModeDDRFlash && !w.Simple() {
+		return Result{}, errors.New("core: ddr+flash drain mode measures plain closed-loop synthetic workloads only")
+	}
+	if p.mapper == nil && w.UnboundedReplay() {
+		return Result{}, errors.New("core: trace replay without a mapping FTL needs SpanBytes covering the read extent")
+	}
+	if err := p.resolveWAF(w.RandomWrites()); err != nil {
 		return Result{}, err
 	}
-	if !w.Pattern.IsWrite() && p.mapper == nil {
-		if err := p.preloadReadRegion(w.SpanBytes); err != nil {
+	if w.MayRead() && p.mapper == nil {
+		if err := p.preloadReadRegion(w.ReadSpan()); err != nil {
 			return Result{}, err
 		}
 	}
@@ -87,7 +106,12 @@ func (p *Platform) Run(w trace.WorkloadSpec, mode Mode) (Result, error) {
 	res.Topology = p.Cfg.Describe()
 	res.Mode = mode
 	res.Pattern = w.Pattern
-	res.Requests = w.Requests
+	res.Workload = w.Describe()
+	if n := w.TotalRequests(); n >= 0 {
+		res.Requests = n
+	} else {
+		res.Requests = int(res.Completed)
+	}
 	res.BlockBytes = w.BlockSize
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	if res.WallSeconds > 0 {
@@ -110,21 +134,32 @@ func (p *Platform) Run(w trace.WorkloadSpec, mode Mode) (Result, error) {
 	return res, nil
 }
 
-// runHosted drives the workload through the host interface.
-func (p *Platform) runHosted(w trace.WorkloadSpec, mode Mode) (Result, error) {
-	stream, err := w.Stream()
+// runHosted streams the workload through the host interface.
+func (p *Platform) runHosted(w workload.Spec, mode Mode) (Result, error) {
+	gen, err := w.Generator()
 	if err != nil {
 		return Result{}, err
 	}
+	if c, ok := gen.(io.Closer); ok {
+		defer c.Close()
+	}
+	if c, ok := gen.(workload.Clocked); ok {
+		c.SetClock(func() float64 { return p.K.Now().Microseconds() })
+	}
 	drained := false
 	handler := func(cmd *hostif.Command) { p.handleCommand(cmd, mode) }
-	if err := p.Host.Run(stream, handler, func() { drained = true }); err != nil {
+	if err := p.Host.Run(gen, handler, func() { drained = true }); err != nil {
 		return Result{}, err
 	}
 	p.K.RunAll()
+	if e, ok := gen.(interface{ Err() error }); ok {
+		if serr := e.Err(); serr != nil {
+			return Result{}, fmt.Errorf("core: workload stream: %w", serr)
+		}
+	}
 	if !drained {
-		return Result{}, fmt.Errorf("%w (%d of %d completed, %d outstanding)",
-			errStalled, p.Host.Stats.Completed, w.Requests, p.Host.Outstanding())
+		return Result{}, fmt.Errorf("%w (%d completed, %d outstanding)",
+			errStalled, p.Host.Stats.Completed, p.Host.Outstanding())
 	}
 	res := Result{
 		MBps:       p.Host.TailThroughputMBps(0.5),
@@ -133,9 +168,9 @@ func (p *Platform) runHosted(w trace.WorkloadSpec, mode Mode) (Result, error) {
 		Completed:  p.Host.Stats.Completed,
 	}
 	res.HostQueuePeak = p.Host.Stats.QueuePeak
-	mean, pct := p.Host.LatencyPercentiles(99)
-	res.MeanLatUS = mean.Microseconds()
-	res.P99LatUS = pct[0].Microseconds()
+	res.ReadLat = p.Host.Latency().Read()
+	res.WriteLat = p.Host.Latency().Write()
+	res.AllLat = p.Host.Latency().All()
 	return res, nil
 }
 
@@ -393,7 +428,7 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 // buffers; measure how fast the flash subsystem drains it (writes) or fills
 // it (reads). A bounded in-flight window keeps the event queue small while
 // saturating every die.
-func (p *Platform) runDrain(w trace.WorkloadSpec) (Result, error) {
+func (p *Platform) runDrain(w workload.Spec) (Result, error) {
 	totalPages := int(w.TotalBytes() / int64(p.pageBytes))
 	if totalPages < 1 {
 		totalPages = 1
@@ -450,31 +485,13 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 	if len(reqs) == 0 {
 		return Result{}, errors.New("core: empty request list")
 	}
-	// Classify the write pattern and find the read extent.
-	var writes, randWrites int
-	var expected int64 = -1
-	var maxReadEnd int64
-	var bytesTotal int64
-	for _, r := range reqs {
-		bytesTotal += r.Bytes
-		switch r.Op {
-		case trace.OpWrite:
-			writes++
-			if expected >= 0 && r.LBA != expected {
-				randWrites++
-			}
-			expected = r.EndLBA()
-		case trace.OpRead:
-			if end := r.EndLBA() * trace.SectorSize; end > maxReadEnd {
-				maxReadEnd = end
-			}
-		}
-	}
-	random := writes > 0 && float64(randWrites) > 0.5*float64(writes)
+	// Classify the write pattern and find the read extent (the same scan
+	// ScanTrace applies to files).
+	info := workload.ScanStream(trace.NewSliceStream(reqs))
 	waf := p.Cfg.WAFOverride
 	if waf == 0 {
 		var err error
-		waf, err = ftl.ForPattern(random, p.Cfg.SpareFactor)
+		waf, err = ftl.ForPattern(info.RandomWrites, p.Cfg.SpareFactor)
 		if err != nil {
 			return Result{}, err
 		}
@@ -484,8 +501,8 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 		return Result{}, err
 	}
 	p.wafModel = m
-	if maxReadEnd > 0 && p.mapper == nil {
-		if err := p.preloadReadRegion(maxReadEnd); err != nil {
+	if info.ReadSpanBytes > 0 && p.mapper == nil {
+		if err := p.preloadReadRegion(info.ReadSpanBytes); err != nil {
 			return Result{}, err
 		}
 	}
@@ -503,6 +520,7 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 		Config:     p.Cfg.Name,
 		Topology:   p.Cfg.Describe(),
 		Mode:       ModeFull,
+		Workload:   fmt.Sprintf("trace[%d]", len(reqs)),
 		Requests:   len(reqs),
 		MBps:       p.Host.TailThroughputMBps(0.5),
 		RampMBps:   p.Host.ThroughputMBps(),
@@ -510,6 +528,9 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 		Completed:  p.Host.Stats.Completed,
 		SimTime:    p.K.Now(),
 		WAF:        p.wafModel.WAF,
+		ReadLat:    p.Host.Latency().Read(),
+		WriteLat:   p.Host.Latency().Write(),
+		AllLat:     p.Host.Latency().All(),
 	}
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	if res.WallSeconds > 0 {
@@ -529,7 +550,7 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 
 // RunWorkload is the one-shot convenience: build a platform from cfg and
 // run the workload in the given mode.
-func RunWorkload(cfg config.Platform, w trace.WorkloadSpec, mode Mode) (Result, error) {
+func RunWorkload(cfg config.Platform, w workload.Spec, mode Mode) (Result, error) {
 	p, err := Build(cfg)
 	if err != nil {
 		return Result{}, err

@@ -13,8 +13,10 @@ import (
 var csvHeader = []string{
 	"index", "name", "channels", "ways", "dies_per_way", "ddr_buffers",
 	"host_if", "nand_profile", "ecc_scheme", "ftl_mode", "cache_policy",
-	"pattern", "block_bytes", "requests", "mode",
-	"mbps", "ramp_mbps", "mean_lat_us", "p99_lat_us", "waf",
+	"pattern", "block_bytes", "requests", "write_frac", "skew", "arrival", "mode",
+	"mbps", "ramp_mbps",
+	"mean_lat_us", "p50_lat_us", "p99_lat_us", "p999_lat_us",
+	"read_ops", "read_p99_us", "write_ops", "write_p99_us", "waf",
 	"erases", "gc_copies", "flash_writes", "flash_reads", "events",
 	"sim_ns", "cached", "err",
 }
@@ -43,8 +45,14 @@ func WriteCSV(w io.Writer, evals []Eval) error {
 			ev.Point.Workload.Pattern.String(),
 			strconv.FormatInt(ev.Point.Workload.BlockSize, 10),
 			strconv.Itoa(ev.Point.Workload.Requests),
+			f(ev.Point.Workload.WriteFrac),
+			ev.Point.Workload.Skew.String(),
+			ev.Point.Workload.Arrival.String(),
 			ev.Point.Mode.String(),
-			f(r.MBps), f(r.RampMBps), f(r.MeanLatUS), f(r.P99LatUS), f(r.WAF),
+			f(r.MBps), f(r.RampMBps),
+			f(r.AllLat.MeanUS), f(r.AllLat.P50US), f(r.AllLat.P99US), f(r.AllLat.P999US),
+			strconv.FormatUint(r.ReadLat.Ops, 10), f(r.ReadLat.P99US),
+			strconv.FormatUint(r.WriteLat.Ops, 10), f(r.WriteLat.P99US), f(r.WAF),
 			strconv.FormatUint(r.Erases, 10),
 			strconv.FormatUint(r.GCCopies, 10),
 			strconv.FormatUint(r.FlashWrites, 10),

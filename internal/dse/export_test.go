@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func exportFixture(t *testing.T) []Eval {
@@ -19,8 +20,8 @@ func exportFixture(t *testing.T) []Eval {
 		t.Fatal(err)
 	}
 	return []Eval{
-		{Point: pts[0], Result: core.Result{MBps: 150.5, MeanLatUS: 42, WAF: 1.5, Erases: 3, SimTime: 1234}},
-		{Point: pts[1], Result: core.Result{MBps: 300, MeanLatUS: 21, WAF: 1.2}, Cached: true},
+		{Point: pts[0], Result: core.Result{MBps: 150.5, AllLat: workload.LatStats{Ops: 100, MeanUS: 42, P99US: 90}, WAF: 1.5, Erases: 3, SimTime: 1234}},
+		{Point: pts[1], Result: core.Result{MBps: 300, AllLat: workload.LatStats{Ops: 100, MeanUS: 21, P99US: 40}, WAF: 1.2}, Cached: true},
 	}
 }
 

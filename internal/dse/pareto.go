@@ -28,12 +28,15 @@ func (o Objective) score(res core.Result) float64 {
 // latency and wear amplification are the paper's three evaluation lenses
 // (Figs. 3/4, the latency breakdowns, and the Fig. 5 endurance study).
 var objectives = map[string]Objective{
-	"mbps":    {Name: "mbps", Maximize: true, Value: func(r core.Result) float64 { return r.MBps }},
-	"ramp":    {Name: "ramp", Maximize: true, Value: func(r core.Result) float64 { return r.RampMBps }},
-	"latency": {Name: "latency", Maximize: false, Value: func(r core.Result) float64 { return r.MeanLatUS }},
-	"p99":     {Name: "p99", Maximize: false, Value: func(r core.Result) float64 { return r.P99LatUS }},
-	"waf":     {Name: "waf", Maximize: false, Value: func(r core.Result) float64 { return r.WAF }},
-	"erases":  {Name: "erases", Maximize: false, Value: func(r core.Result) float64 { return float64(r.Erases) }},
+	"mbps":     {Name: "mbps", Maximize: true, Value: func(r core.Result) float64 { return r.MBps }},
+	"ramp":     {Name: "ramp", Maximize: true, Value: func(r core.Result) float64 { return r.RampMBps }},
+	"latency":  {Name: "latency", Maximize: false, Value: func(r core.Result) float64 { return r.AllLat.MeanUS }},
+	"p99":      {Name: "p99", Maximize: false, Value: func(r core.Result) float64 { return r.AllLat.P99US }},
+	"p999":     {Name: "p999", Maximize: false, Value: func(r core.Result) float64 { return r.AllLat.P999US }},
+	"readp99":  {Name: "readp99", Maximize: false, Value: func(r core.Result) float64 { return r.ReadLat.P99US }},
+	"writep99": {Name: "writep99", Maximize: false, Value: func(r core.Result) float64 { return r.WriteLat.P99US }},
+	"waf":      {Name: "waf", Maximize: false, Value: func(r core.Result) float64 { return r.WAF }},
+	"erases":   {Name: "erases", Maximize: false, Value: func(r core.Result) float64 { return float64(r.Erases) }},
 	"wearout": {Name: "wearout", Maximize: false, Value: func(r core.Result) float64 {
 		// Flash wear per useful byte: measured amplification weighted by
 		// erase traffic. Degenerates to WAF when no erases were observed.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // fixture builds evaluations with known throughput/latency/WAF values.
@@ -13,7 +14,7 @@ func fixture(vals [][3]float64) []Eval {
 	for i, v := range vals {
 		evals[i] = Eval{
 			Point:  Point{Index: int64(i)},
-			Result: core.Result{MBps: v[0], MeanLatUS: v[1], WAF: v[2]},
+			Result: core.Result{MBps: v[0], AllLat: workload.LatStats{MeanUS: v[1]}, WAF: v[2]},
 		}
 	}
 	return evals
@@ -30,9 +31,9 @@ func mustObjectives(t *testing.T, spec string) []Objective {
 
 func TestDominates(t *testing.T) {
 	objs := mustObjectives(t, "mbps,latency")
-	a := core.Result{MBps: 200, MeanLatUS: 50}
-	b := core.Result{MBps: 100, MeanLatUS: 80}
-	c := core.Result{MBps: 300, MeanLatUS: 90}
+	a := core.Result{MBps: 200, AllLat: workload.LatStats{MeanUS: 50}}
+	b := core.Result{MBps: 100, AllLat: workload.LatStats{MeanUS: 80}}
+	c := core.Result{MBps: 300, AllLat: workload.LatStats{MeanUS: 90}}
 	if !Dominates(a, b, objs) {
 		t.Error("a should dominate b (faster and lower latency)")
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Space describes a Cartesian design space. Every axis left empty is pinned
@@ -41,9 +42,15 @@ type Space struct {
 	FTLMode     []string // "waf", "mapper"
 	CachePolicy []string // "cache", "nocache"
 
-	// Workload axes.
+	// Workload axes. Beyond the paper's pattern/block-size sweep, the
+	// streaming workload subsystem exposes shape axes so sweeps explore
+	// workload and hardware jointly: read/write mix, address skew and
+	// arrival process.
 	Patterns   []trace.Pattern
 	BlockSizes []int64
+	WriteFracs []float64          // write fraction of a mixed workload
+	Skews      []workload.Skew    // uniform / zipf / hotspot addressing
+	Arrivals   []workload.Arrival // closed / poisson / onoff arrivals
 
 	// Workload shape shared by every point.
 	SpanBytes int64 // default 1 GiB
@@ -98,6 +105,9 @@ func (s Space) axes() []axis {
 	add("cachepol", len(s.CachePolicy), func(pt *Point, i int) { pt.Config.CachePolicy = s.CachePolicy[i] })
 	add("pattern", len(s.Patterns), func(pt *Point, i int) { pt.Workload.Pattern = s.Patterns[i] })
 	add("block", len(s.BlockSizes), func(pt *Point, i int) { pt.Workload.BlockSize = s.BlockSizes[i] })
+	add("mix", len(s.WriteFracs), func(pt *Point, i int) { pt.Workload.WriteFrac = s.WriteFracs[i] })
+	add("skew", len(s.Skews), func(pt *Point, i int) { pt.Workload.Skew = s.Skews[i] })
+	add("arrival", len(s.Arrivals), func(pt *Point, i int) { pt.Workload.Arrival = s.Arrivals[i] })
 	add("mode", len(s.Modes), func(pt *Point, i int) { pt.Mode = s.Modes[i] })
 	return out
 }
@@ -124,7 +134,7 @@ func (s Space) At(idx int64) (Point, error) {
 	pt := Point{
 		Index:  idx,
 		Config: s.Base,
-		Workload: trace.WorkloadSpec{
+		Workload: workload.Spec{
 			Pattern:   trace.SeqWrite,
 			BlockSize: trace.DefaultBlockSize,
 			SpanBytes: s.SpanBytes,
@@ -225,10 +235,10 @@ func (r *splitMix) int63n(n int64) int64 {
 // Point is one evaluable design point: a platform configuration, the
 // workload to run on it, and the measurement mode.
 type Point struct {
-	Index    int64              `json:"index"`
-	Config   config.Platform    `json:"config"`
-	Workload trace.WorkloadSpec `json:"workload"`
-	Mode     core.Mode          `json:"mode"`
+	Index    int64           `json:"index"`
+	Config   config.Platform `json:"config"`
+	Workload workload.Spec   `json:"workload"`
+	Mode     core.Mode       `json:"mode"`
 }
 
 // Key returns the content hash of the point — a digest of the complete
@@ -243,9 +253,7 @@ func (pt Point) Key() string {
 		// Render only fails on writer errors; strings.Builder has none.
 		panic(fmt.Sprintf("dse: render: %v", err))
 	}
-	fmt.Fprintf(&b, "workload: %v %d %d %d %d %v\n",
-		pt.Workload.Pattern, pt.Workload.BlockSize, pt.Workload.SpanBytes,
-		pt.Workload.Requests, pt.Workload.Seed, pt.Workload.AlignLBA)
+	b.WriteString(pt.Workload.Canonical())
 	fmt.Fprintf(&b, "mode: %d\n", int(pt.Mode))
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
@@ -253,8 +261,8 @@ func (pt Point) Key() string {
 
 // Describe renders a compact human label for tables.
 func (pt Point) Describe() string {
-	return fmt.Sprintf("%d-ch/%d-way/%d-die/%d-buf %s %s %v/%d",
+	return fmt.Sprintf("%d-ch/%d-way/%d-die/%d-buf %s %s %s",
 		pt.Config.Channels, pt.Config.Ways, pt.Config.DiesPerWay,
 		pt.Config.DDRBuffers, pt.Config.HostIF, pt.Config.ECCScheme,
-		pt.Workload.Pattern, pt.Workload.BlockSize)
+		pt.Workload.Describe())
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func TestSpaceSizeAndEnumerate(t *testing.T) {
@@ -164,5 +165,42 @@ func TestKeyIgnoresNameButNotParameters(t *testing.T) {
 	fw.Config.CPUModel = "firmware"
 	if fw.Key() == a.Key() {
 		t.Error("CPU model not part of the content hash")
+	}
+}
+
+func TestWorkloadShapeAxes(t *testing.T) {
+	s := Space{
+		WriteFracs: []float64{0, 0.3},
+		Skews:      []workload.Skew{{}, {Kind: workload.SkewZipf, Theta: 0.99}},
+		Arrivals:   []workload.Arrival{{}, {Kind: workload.ArrivalPoisson, RateIOPS: 20000}},
+	}
+	if got := s.Size(); got != 8 {
+		t.Fatalf("Size = %d, want 8", got)
+	}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, pt := range pts {
+		key := pt.Key()
+		if seen[key] {
+			t.Fatalf("workload shape not in the content hash: duplicate key for %s", pt.Describe())
+		}
+		seen[key] = true
+	}
+	// Later-declared axes vary fastest: the first two points differ only in
+	// the arrival process.
+	if pts[0].Workload.Arrival.Kind != workload.ArrivalClosed ||
+		pts[1].Workload.Arrival.Kind != workload.ArrivalPoisson {
+		t.Fatalf("arrival axis order: %+v / %+v", pts[0].Workload.Arrival, pts[1].Workload.Arrival)
+	}
+	if pts[0].Workload.WriteFrac != pts[1].Workload.WriteFrac {
+		t.Fatalf("mix changed before fastest axis exhausted")
+	}
+	// The richest point carries every shape.
+	last := pts[7].Workload
+	if last.WriteFrac != 0.3 || last.Skew.Kind != workload.SkewZipf || !last.Arrival.Open() {
+		t.Fatalf("point 7 workload = %+v", last)
 	}
 }

@@ -17,10 +17,10 @@ package hostif
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Config describes one host interface.
@@ -133,6 +133,7 @@ func (c Config) IdealMBps(blockBytes int64, write bool) float64 {
 type Command struct {
 	ID         int64
 	Req        trace.Request
+	QueuedAt   sim.Time // released by the stream (its arrival time, or later)
 	SubmitAt   sim.Time // command capsule fully received
 	DataAt     sim.Time // write data fully received (== SubmitAt for reads)
 	CompleteAt sim.Time // completion capsule sent
@@ -168,7 +169,10 @@ type Interface struct {
 	// completion log for steady-state (tail) throughput measurement
 	complTimes []sim.Time
 	complBytes []int64
-	latencies  []sim.Time // per-command submit-to-complete
+
+	// lat collects per-op-class command latency (queued-to-completion, so
+	// open-loop runs see window-queueing delay) in fixed memory.
+	lat workload.Collector
 
 	Stats Stats
 }
@@ -222,18 +226,27 @@ func (i *Interface) pull() {
 		i.maybeDrained()
 		return
 	}
+	at := sim.FromMicroseconds(req.ArrivalUS)
 	issue := func() {
+		// Latency clock: an open-loop request is "queued" at its declared
+		// arrival time even when the player pulls it late (the pull chain
+		// is gated on window admission, so a backed-up device accumulates
+		// past-due arrivals whose backlog wait must count as latency).
+		// Closed-loop requests (arrival 0) queue when pulled.
+		queued := i.k.Now()
+		if at > 0 && at < queued {
+			queued = at
+		}
 		i.window.AcquireWhenFree(func() {
 			i.outstanding++
 			if i.outstanding > i.Stats.QueuePeak {
 				i.Stats.QueuePeak = i.outstanding
 			}
-			i.submit(req)
+			i.submit(req, queued)
 			// Keep the window full: pull the next request immediately.
 			i.pull()
 		})
 	}
-	at := sim.FromMicroseconds(req.ArrivalUS)
 	if at > i.k.Now() {
 		i.k.At(at, issue)
 	} else {
@@ -243,8 +256,8 @@ func (i *Interface) pull() {
 
 // submit models the command (and write-data) wire transfer, then hands the
 // command to the platform.
-func (i *Interface) submit(req trace.Request) {
-	cmd := &Command{ID: i.nextID, Req: req}
+func (i *Interface) submit(req trace.Request, queued sim.Time) {
+	cmd := &Command{ID: i.nextID, Req: req, QueuedAt: queued}
 	i.nextID++
 	i.rx.Acquire(i.cfg.wireTime(i.cfg.CmdBytes), func(_, end sim.Time) {
 		i.k.At(end, func() {
@@ -279,7 +292,7 @@ func (i *Interface) Complete(cmd *Command) {
 				i.Stats.LastComplete = end
 				i.complTimes = append(i.complTimes, end)
 				i.complBytes = append(i.complBytes, cmd.Req.Bytes)
-				i.latencies = append(i.latencies, end-cmd.SubmitAt)
+				i.lat.Record(cmd.Req.Op, end-cmd.QueuedAt)
 				switch cmd.Req.Op {
 				case trace.OpWrite:
 					i.Stats.BytesWritten += uint64(cmd.Req.Bytes)
@@ -318,32 +331,22 @@ func (i *Interface) ThroughputMBps() float64 {
 	return float64(i.Stats.BytesWritten+i.Stats.BytesRead) / dur.Seconds() / 1e6
 }
 
+// Latency exposes the per-op-class latency collector (queued-to-completion
+// command latency, read vs write vs all).
+func (i *Interface) Latency() *workload.Collector { return &i.lat }
+
 // LatencyPercentiles returns the mean and the given percentiles (0-100) of
-// command latency (submit to completion capsule).
+// command latency across all op classes, from the fixed-memory histogram.
 func (i *Interface) LatencyPercentiles(ps ...float64) (mean sim.Time, out []sim.Time) {
-	n := len(i.latencies)
 	out = make([]sim.Time, len(ps))
-	if n == 0 {
+	h := i.lat.AllHistogram()
+	if h.Count() == 0 {
 		return 0, out
 	}
-	sorted := append([]sim.Time(nil), i.latencies...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	var sum sim.Time
-	for _, l := range sorted {
-		sum += l
-	}
-	mean = sum / sim.Time(n)
 	for j, p := range ps {
-		idx := int(p / 100 * float64(n-1))
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= n {
-			idx = n - 1
-		}
-		out[j] = sorted[idx]
+		out[j] = h.Quantile(p / 100)
 	}
-	return mean, out
+	return h.Mean(), out
 }
 
 // TailThroughputMBps measures throughput over the final (1-skip) fraction of

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func TestConfigs(t *testing.T) {
@@ -276,5 +277,86 @@ func TestLatencyPercentiles(t *testing.T) {
 	m, ps := j.LatencyPercentiles(99)
 	if m != 0 || ps[0] != 0 {
 		t.Fatalf("empty percentiles %v %v", m, ps)
+	}
+}
+
+func TestInterfaceConsumesWorkloadGenerator(t *testing.T) {
+	// A workload.Generator is structurally a trace.Stream: the trace player
+	// pulls a mixed stream straight from the generator and the latency
+	// collector splits completions by op class.
+	k := sim.NewKernel()
+	i, _ := New(k, SATA2())
+	spec := workload.Spec{
+		Pattern: trace.RandRead, BlockSize: 4096, SpanBytes: 1 << 22,
+		Requests: 400, Seed: 3, WriteFrac: 0.5,
+	}
+	gen, err := spec.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := i.Run(gen, instantDevice(k, i), nil); err != nil {
+		t.Fatal(err)
+	}
+	k.RunAll()
+	if i.Stats.Completed != 400 {
+		t.Fatalf("completed %d", i.Stats.Completed)
+	}
+	r, w, all := i.Latency().Read(), i.Latency().Write(), i.Latency().All()
+	if r.Ops == 0 || w.Ops == 0 || r.Ops+w.Ops != 400 || all.Ops != 400 {
+		t.Fatalf("latency classes: %d reads + %d writes, %d all", r.Ops, w.Ops, all.Ops)
+	}
+	if r.P99US < r.P50US || w.P99US < w.P50US {
+		t.Fatalf("percentiles not monotonic: %+v / %+v", r, w)
+	}
+}
+
+func TestOpenLoopLatencyIncludesQueueWait(t *testing.T) {
+	// Two requests arrive together; a 1 ms device and a depth-1 window mean
+	// the second waits a full service time at the window. Queued-to-complete
+	// latency must show that wait.
+	cfg := SATA2()
+	cfg.QueueDepth = 1
+	k := sim.NewKernel()
+	i, _ := New(k, cfg)
+	reqs := []trace.Request{
+		{ArrivalUS: 10, Op: trace.OpWrite, LBA: 0, Bytes: 4096},
+		{ArrivalUS: 10, Op: trace.OpWrite, LBA: 8, Bytes: 4096},
+	}
+	i.Run(trace.NewSliceStream(reqs), func(c *Command) {
+		k.Schedule(sim.Millisecond, func() { i.Complete(c) })
+	}, nil)
+	k.RunAll()
+	mean, pct := i.LatencyPercentiles(100)
+	// First request: ~1 ms service. Second: ~1 ms window wait + ~1 ms
+	// service. Mean ~1.5 ms, max ~2 ms.
+	if mean < 1400*sim.Microsecond {
+		t.Fatalf("mean %v does not include window queueing", mean)
+	}
+	if pct[0] < 1900*sim.Microsecond {
+		t.Fatalf("max latency %v does not include window queueing", pct[0])
+	}
+}
+
+func TestOpenLoopLatencyIncludesArrivalBacklog(t *testing.T) {
+	// Three requests all arrive at t=10us against a depth-1 window and a
+	// 1 ms device: the third is pulled only ~2 ms after its arrival. Its
+	// latency must count from the arrival, not from the late pull.
+	cfg := SATA2()
+	cfg.QueueDepth = 1
+	k := sim.NewKernel()
+	i, _ := New(k, cfg)
+	reqs := []trace.Request{
+		{ArrivalUS: 10, Op: trace.OpWrite, LBA: 0, Bytes: 4096},
+		{ArrivalUS: 10, Op: trace.OpWrite, LBA: 8, Bytes: 4096},
+		{ArrivalUS: 10, Op: trace.OpWrite, LBA: 16, Bytes: 4096},
+	}
+	i.Run(trace.NewSliceStream(reqs), func(c *Command) {
+		k.Schedule(sim.Millisecond, func() { i.Complete(c) })
+	}, nil)
+	k.RunAll()
+	_, pct := i.LatencyPercentiles(100)
+	// Third completion at ~3 ms, arrival 10us: latency ~3 ms.
+	if pct[0] < 2900*sim.Microsecond {
+		t.Fatalf("max latency %v does not include the arrival backlog", pct[0])
 	}
 }

@@ -63,10 +63,13 @@ func FromNanoseconds(ns float64) Time { return Time(ns * float64(Nanosecond)) }
 func FromMicroseconds(us float64) Time { return Time(us * float64(Microsecond)) }
 
 // event is a scheduled callback. seq provides deterministic FIFO ordering
-// among events scheduled for the same timestamp.
+// among events scheduled for the same timestamp. Events are pooled: fired
+// and cancelled events return to the kernel's free list, and gen counts
+// reuses so stale EventIDs cannot cancel a recycled event.
 type event struct {
 	at    Time
 	seq   uint64
+	gen   uint64
 	fn    func()
 	index int // heap index; -1 once popped or cancelled
 }
@@ -101,9 +104,12 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. The
+// generation tag pins the identity to one scheduling, so an ID held past
+// its event's execution is inert even after the event struct is reused.
 type EventID struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Kernel is the discrete-event simulation engine. It is not safe for
@@ -115,6 +121,11 @@ type Kernel struct {
 	seq     uint64
 	queue   eventHeap
 	stopped bool
+
+	// free pools fired/cancelled events for reuse. A simulation schedules
+	// millions of events but only ever has O(in-flight) pending, so the
+	// pool drops allocation pressure to near zero in steady state.
+	free []*event
 
 	// Executed counts delivered events; used by the simulation-speed
 	// experiment (Fig. 6) and by sanity limits in tests.
@@ -147,21 +158,41 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 	if t < k.now {
 		t = k.now
 	}
-	e := &event{at: t, seq: k.seq, fn: fn}
+	e := k.alloc()
+	e.at, e.seq, e.fn = t, k.seq, fn
 	k.seq++
 	heap.Push(&k.queue, e)
-	return EventID{ev: e}
+	return EventID{ev: e, gen: e.gen}
+}
+
+// alloc takes an event from the free list, or allocates a fresh one.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle clears a finished event and returns it to the free list. The
+// generation bump invalidates every outstanding EventID for it.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.index = -1
+	k.free = append(k.free, e)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or already-
 // cancelled event is a no-op and returns false.
 func (k *Kernel) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.index < 0 {
 		return false
 	}
 	heap.Remove(&k.queue, id.ev.index)
-	id.ev.index = -1
-	id.ev.fn = nil
+	k.recycle(id.ev)
 	return true
 }
 
@@ -187,7 +218,7 @@ func (k *Kernel) Run(until Time) Time {
 		heap.Pop(&k.queue)
 		k.now = next.at
 		fn := next.fn
-		next.fn = nil
+		k.recycle(next)
 		k.Executed++
 		fn()
 	}

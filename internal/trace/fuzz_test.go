@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the streaming parser with arbitrary input: it must
+// never panic, and any trace it accepts must survive a Write/Parse round
+// trip unchanged (the serialisation is canonical).
+func FuzzParse(f *testing.F) {
+	f.Add("0 W 0 4096\n")
+	f.Add("# comment\n12.5 R 8 4096\n100 T 16 8192\n0 F 0 0\n")
+	f.Add("1e3 w 123456789 512\n")
+	f.Add("0.125 READ 0 1048576\n")
+	f.Add("")
+	f.Add("0 W 0\n")
+	f.Add("nan W 0 4096\n")
+	f.Add("-1 W 0 4096\n")
+	f.Add("0 W -1 4096\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		reqs, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, reqs); err != nil {
+			t.Fatalf("write of accepted trace failed: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v\ninput: %q\nserialised: %q", err, in, buf.String())
+		}
+		if len(back) != len(reqs) {
+			t.Fatalf("round trip count %d != %d", len(back), len(reqs))
+		}
+		for i := range reqs {
+			if back[i] != reqs[i] {
+				t.Fatalf("round trip request %d: %+v != %+v", i, back[i], reqs[i])
+			}
+		}
+	})
+}

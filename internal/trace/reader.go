@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Reader is a streaming trace parser: requests are decoded one line at a
+// time as the consumer pulls them, so arbitrarily large trace files replay
+// in constant memory. A Reader is the file-backed counterpart of a
+// SliceStream; Next returning false means end-of-trace or an error — check
+// Err to tell them apart.
+type Reader struct {
+	sc     *bufio.Scanner
+	lineno int
+	err    error
+}
+
+// ParseReader wraps r in a streaming trace parser.
+func ParseReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next request. ok=false ends the stream; Err reports
+// whether it ended on a malformed line rather than EOF.
+func (r *Reader) Next() (Request, bool) {
+	if r.err != nil {
+		return Request{}, false
+	}
+	for r.sc.Scan() {
+		r.lineno++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := parseLine(line, r.lineno)
+		if err != nil {
+			r.err = err
+			return Request{}, false
+		}
+		return req, true
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = fmt.Errorf("trace: %v", err)
+	}
+	return Request{}, false
+}
+
+// Err returns the error that terminated the stream, if any.
+func (r *Reader) Err() error { return r.err }
+
+// parseLine decodes one non-comment trace line.
+func parseLine(line string, lineno int) (Request, error) {
+	f := strings.Fields(line)
+	if len(f) != 4 {
+		return Request{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineno, len(f))
+	}
+	at, err := strconv.ParseFloat(f[0], 64)
+	if err != nil || at < 0 || math.IsInf(at, 0) || math.IsNaN(at) {
+		return Request{}, fmt.Errorf("trace: line %d: bad arrival %q", lineno, f[0])
+	}
+	op, err := ParseOp(f[1])
+	if err != nil {
+		return Request{}, fmt.Errorf("trace: line %d: %v", lineno, err)
+	}
+	lba, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil || lba < 0 {
+		return Request{}, fmt.Errorf("trace: line %d: bad lba %q", lineno, f[2])
+	}
+	bytes, err := strconv.ParseInt(f[3], 10, 64)
+	if err != nil || bytes < 0 {
+		return Request{}, fmt.Errorf("trace: line %d: bad size %q", lineno, f[3])
+	}
+	return Request{ArrivalUS: at, Op: op, LBA: lba, Bytes: bytes}, nil
+}
+
+// WriteReader drains a stream into w in the canonical text format,
+// returning the number of requests written. It is the streaming counterpart
+// of Write: a generator can be serialised to disk without ever holding the
+// whole trace in memory. If the stream reports errors (an Err() error
+// method, like a replay generator), a stream failure is surfaced instead of
+// silently truncating the output.
+func WriteReader(w io.Writer, s Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# ssdexplorer trace: arrival_us op lba_sectors bytes"); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		if _, err := fmt.Fprintf(bw, "%g %s %d %d\n", req.ArrivalUS, req.Op, req.LBA, req.Bytes); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if e, ok := s.(interface{ Err() error }); ok {
+		if err := e.Err(); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}

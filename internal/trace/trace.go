@@ -14,10 +14,8 @@
 package trace
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 )
 
@@ -114,56 +112,26 @@ func (s *SliceStream) Reset() { s.pos = 0 }
 // Remaining reports how many requests are left.
 func (s *SliceStream) Remaining() int { return len(s.Reqs) - s.pos }
 
-// Parse reads a whole trace from r.
+// Parse reads a whole trace from r (a materialising convenience over
+// ParseReader; replay paths stream instead).
 func Parse(r io.Reader) ([]Request, error) {
 	var reqs []Request
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	sr := ParseReader(r)
+	for {
+		req, ok := sr.Next()
+		if !ok {
+			break
 		}
-		f := strings.Fields(line)
-		if len(f) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineno, len(f))
-		}
-		at, err := strconv.ParseFloat(f[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad arrival %q", lineno, f[0])
-		}
-		op, err := ParseOp(f[1])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
-		}
-		lba, err := strconv.ParseInt(f[2], 10, 64)
-		if err != nil || lba < 0 {
-			return nil, fmt.Errorf("trace: line %d: bad lba %q", lineno, f[2])
-		}
-		bytes, err := strconv.ParseInt(f[3], 10, 64)
-		if err != nil || bytes < 0 {
-			return nil, fmt.Errorf("trace: line %d: bad size %q", lineno, f[3])
-		}
-		reqs = append(reqs, Request{ArrivalUS: at, Op: op, LBA: lba, Bytes: bytes})
+		reqs = append(reqs, req)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %v", err)
+	if err := sr.Err(); err != nil {
+		return nil, err
 	}
 	return reqs, nil
 }
 
 // Write serialises reqs to w in the canonical text format.
 func Write(w io.Writer, reqs []Request) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "# ssdexplorer trace: arrival_us op lba_sectors bytes"); err != nil {
-		return err
-	}
-	for _, r := range reqs {
-		if _, err := fmt.Fprintf(bw, "%g %s %d %d\n", r.ArrivalUS, r.Op, r.LBA, r.Bytes); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	_, err := WriteReader(w, NewSliceStream(reqs))
+	return err
 }

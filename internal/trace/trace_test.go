@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -237,30 +238,120 @@ func TestWorkloadProperty(t *testing.T) {
 	}
 }
 
-func TestMixedSpec(t *testing.T) {
-	m := MixedSpec{BlockSize: 4096, SpanBytes: 1 << 22, Requests: 1000, WriteFraction: 0.7, Random: true, Seed: 1}
-	reqs, err := m.Generate()
-	if err != nil {
-		t.Fatal(err)
-	}
-	writes := 0
-	for _, r := range reqs {
-		if r.Op == OpWrite {
-			writes++
-		}
-	}
-	frac := float64(writes) / float64(len(reqs))
-	if frac < 0.6 || frac > 0.8 {
-		t.Fatalf("write fraction %v, want ~0.7", frac)
-	}
-	if _, err := (MixedSpec{BlockSize: 4096, SpanBytes: 1 << 22, Requests: 10, WriteFraction: 1.5}).Generate(); err == nil {
-		t.Fatalf("expected error for bad fraction")
-	}
-}
-
 func TestTotalBytes(t *testing.T) {
 	w := WorkloadSpec{Pattern: SeqWrite, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 256}
 	if w.TotalBytes() != 1<<20 {
 		t.Fatalf("TotalBytes = %d", w.TotalBytes())
+	}
+}
+
+// TestGoldenStreamRoundTrip pins the canonical serialisation: WriteReader
+// must render this exact text, and ParseReader must stream it back
+// identically — arrival times, trims and flushes included.
+func TestGoldenStreamRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ArrivalUS: 0, Op: OpWrite, LBA: 0, Bytes: 4096},
+		{ArrivalUS: 12.5, Op: OpRead, LBA: 128, Bytes: 512},
+		{ArrivalUS: 100.25, Op: OpTrim, LBA: 1 << 30, Bytes: 1 << 20},
+		{ArrivalUS: 101, Op: OpFlush, LBA: 0, Bytes: 0},
+		{ArrivalUS: 1e6, Op: OpWrite, LBA: 8, Bytes: 8192},
+	}
+	const golden = `# ssdexplorer trace: arrival_us op lba_sectors bytes
+0 W 0 4096
+12.5 R 128 512
+100.25 T 1073741824 1048576
+101 F 0 0
+1e+06 W 8 8192
+`
+	var buf bytes.Buffer
+	n, err := WriteReader(&buf, NewSliceStream(reqs))
+	if err != nil || n != len(reqs) {
+		t.Fatalf("WriteReader: n=%d err=%v", n, err)
+	}
+	if buf.String() != golden {
+		t.Fatalf("serialisation drifted:\n got: %q\nwant: %q", buf.String(), golden)
+	}
+	r := ParseReader(&buf)
+	var back []Request
+	for {
+		req, ok := r.Next()
+		if !ok {
+			break
+		}
+		back = append(back, req)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("streamed %d requests, want %d", len(back), len(reqs))
+	}
+	for i := range reqs {
+		if back[i] != reqs[i] {
+			t.Fatalf("request %d: %+v != %+v", i, back[i], reqs[i])
+		}
+	}
+}
+
+func TestParseReaderStopsAtBadLine(t *testing.T) {
+	r := ParseReader(strings.NewReader("0 W 0 4096\n0 Q 0 4096\n"))
+	if _, ok := r.Next(); !ok {
+		t.Fatal("valid first line rejected")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("bad op accepted")
+	}
+	if r.Err() == nil {
+		t.Fatal("error not reported")
+	}
+	// A terminated reader stays terminated.
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Fatal("reader resumed after error")
+	}
+}
+
+func TestParseRejectsNonFiniteArrivals(t *testing.T) {
+	for _, line := range []string{"nan W 0 4096", "+inf W 0 4096", "-1 W 0 4096"} {
+		if _, err := Parse(strings.NewReader(line)); err == nil {
+			t.Errorf("line %q: expected parse error", line)
+		}
+	}
+}
+
+func TestParsePatternCaseInsensitive(t *testing.T) {
+	// Regression: mixed-case forms like "Sw"/"Rw" used to be rejected while
+	// "sw" and "SW" parsed.
+	cases := map[string]Pattern{
+		"Sw": SeqWrite, "sW": SeqWrite, "SW": SeqWrite, "sw": SeqWrite,
+		"Sr": SeqRead, "Rw": RandWrite, "rW": RandWrite, "Rr": RandRead,
+		"Seq-Write": SeqWrite, "RAND-READ": RandRead, "RandWrite": RandWrite,
+		" sw ": SeqWrite,
+	}
+	for in, want := range cases {
+		got, err := ParsePattern(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePattern(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+// errStream yields one request then fails, like a replay source hitting a
+// malformed line.
+type errStream struct{ n int }
+
+func (s *errStream) Next() (Request, bool) {
+	if s.n == 0 {
+		s.n++
+		return Request{Op: OpWrite, Bytes: 4096}, true
+	}
+	return Request{}, false
+}
+func (s *errStream) Reset()     { s.n = 0 }
+func (s *errStream) Err() error { return fmt.Errorf("boom") }
+
+func TestWriteReaderSurfacesStreamErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteReader(&buf, &errStream{}); err == nil {
+		t.Fatal("stream error swallowed; output silently truncated")
 	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -33,16 +34,17 @@ func (p Pattern) String() string {
 	return "?"
 }
 
-// ParsePattern decodes SW/SR/RW/RR (case-insensitive) or long names.
+// ParsePattern decodes SW/SR/RW/RR or long names, uniformly
+// case-insensitive ("Sw" and "Rand-Write" parse like "sw" and "RAND-WRITE").
 func ParsePattern(s string) (Pattern, error) {
-	switch s {
-	case "SW", "sw", "seq-write", "seqwrite":
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sw", "seq-write", "seqwrite":
 		return SeqWrite, nil
-	case "SR", "sr", "seq-read", "seqread":
+	case "sr", "seq-read", "seqread":
 		return SeqRead, nil
-	case "RW", "rw", "rand-write", "randwrite":
+	case "rw", "rand-write", "randwrite":
 		return RandWrite, nil
-	case "RR", "rr", "rand-read", "randread":
+	case "rr", "rand-read", "randread":
 		return RandRead, nil
 	}
 	return 0, fmt.Errorf("trace: unknown pattern %q", s)
@@ -127,51 +129,4 @@ func (w WorkloadSpec) Stream() (*SliceStream, error) {
 // TotalBytes returns the volume of data moved by the workload.
 func (w WorkloadSpec) TotalBytes() int64 {
 	return int64(w.Requests) * w.BlockSize
-}
-
-// MixedSpec interleaves read and write traffic with a given write fraction,
-// used by ablation benches beyond the paper's core experiments.
-type MixedSpec struct {
-	BlockSize     int64
-	SpanBytes     int64
-	Requests      int
-	WriteFraction float64 // probability a request is a write
-	Random        bool
-	Seed          uint64
-}
-
-// Generate materialises the mixed workload.
-func (m MixedSpec) Generate() ([]Request, error) {
-	base := WorkloadSpec{
-		Pattern:   SeqWrite,
-		BlockSize: m.BlockSize,
-		SpanBytes: m.SpanBytes,
-		Requests:  m.Requests,
-	}
-	if err := base.Validate(); err != nil {
-		return nil, err
-	}
-	if m.WriteFraction < 0 || m.WriteFraction > 1 {
-		return nil, fmt.Errorf("trace: write fraction %v out of [0,1]", m.WriteFraction)
-	}
-	rng := sim.NewRNG(m.Seed ^ 0x0a1b2c3d4e5f6071)
-	blocks := m.SpanBytes / m.BlockSize
-	sectorsPerBlock := m.BlockSize / SectorSize
-	reqs := make([]Request, 0, m.Requests)
-	var seq int64
-	for i := 0; i < m.Requests; i++ {
-		var blk int64
-		if m.Random {
-			blk = rng.Int63n(blocks)
-		} else {
-			blk = seq % blocks
-			seq++
-		}
-		op := OpRead
-		if rng.Bool(m.WriteFraction) {
-			op = OpWrite
-		}
-		reqs = append(reqs, Request{Op: op, LBA: blk * sectorsPerBlock, Bytes: m.BlockSize})
-	}
-	return reqs, nil
 }

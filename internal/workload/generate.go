@@ -1,0 +1,450 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// seedSalt matches the legacy trace.WorkloadSpec generator so the four paper
+// patterns stream byte-identical requests for the same seed.
+const seedSalt = 0x55de10725eed0001
+
+// Generator builds the composed request stream the spec declares. Replay
+// generators hold an open file: callers that care should type-assert
+// io.Closer and Err() error (core does).
+func (s Spec) Generator() (Generator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Phases) > 0 {
+		gens := make([]Generator, len(s.Phases))
+		for i, ph := range s.Phases {
+			g, err := ph.Generator()
+			if err != nil {
+				for _, built := range gens[:i] {
+					closeGenerator(built)
+				}
+				return nil, fmt.Errorf("phase %d: %w", i, err)
+			}
+			gens[i] = g
+		}
+		return &phased{gens: gens}, nil
+	}
+	if s.TracePath != "" {
+		return OpenReplay(s.TracePath)
+	}
+	g := &synth{spec: s}
+	if s.Skew.Kind == SkewZipf {
+		g.zipf = newZipf(s.SpanBytes/s.BlockSize, s.Skew.Theta)
+	}
+	g.Reset()
+	return g, nil
+}
+
+// Generate materialises the whole stream as a slice — a convenience for
+// trace-file writing and tests; the platform itself always streams.
+func (s Spec) Generate() ([]trace.Request, error) {
+	g, err := s.Generator()
+	if err != nil {
+		return nil, err
+	}
+	defer closeGenerator(g)
+	n := s.TotalRequests()
+	if n < 0 {
+		n = 0
+	}
+	reqs := make([]trace.Request, 0, n)
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		reqs = append(reqs, req)
+	}
+	if e, ok := g.(interface{ Err() error }); ok {
+		if err := e.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return reqs, nil
+}
+
+// closeGenerator releases a generator's external resources, if any.
+func closeGenerator(g Generator) {
+	if c, ok := g.(interface{ Close() error }); ok {
+		c.Close()
+	}
+}
+
+// synth streams one synthetic workload: base pattern, optional direction
+// mix, address skew and arrival process. State is O(1); Reset replays the
+// identical stream.
+type synth struct {
+	spec Spec
+	rng  *sim.RNG
+	zipf *zipf
+
+	emitted int
+	seq     int64 // sequential block cursor
+
+	// Open-loop arrival clock, microseconds.
+	clockUS    float64
+	onRemainUS float64
+}
+
+// Reset implements Generator.
+func (g *synth) Reset() {
+	g.rng = sim.NewRNG(g.spec.Seed ^ seedSalt)
+	g.emitted = 0
+	g.seq = 0
+	g.clockUS = 0
+	g.onRemainUS = g.spec.Arrival.OnMS * 1000
+}
+
+// Next implements Generator. Draw order is fixed (direction, address,
+// arrival) so streams are deterministic functions of the spec.
+func (g *synth) Next() (trace.Request, bool) {
+	if g.emitted >= g.spec.Requests {
+		return trace.Request{}, false
+	}
+	g.emitted++
+	blocks := g.spec.SpanBytes / g.spec.BlockSize
+	sectorsPerBlock := g.spec.BlockSize / trace.SectorSize
+
+	op := trace.OpRead
+	if g.spec.Pattern.IsWrite() {
+		op = trace.OpWrite
+	}
+	if g.spec.WriteFrac > 0 {
+		op = trace.OpRead
+		if g.rng.Bool(g.spec.WriteFrac) {
+			op = trace.OpWrite
+		}
+	}
+
+	var blk int64
+	switch {
+	case g.spec.Skew.Kind == SkewZipf:
+		blk = g.zipf.next(g.rng)
+	case g.spec.Skew.Kind == SkewHotspot:
+		blk = g.hotspotBlock(blocks)
+	case g.spec.Pattern.IsRandom():
+		blk = g.rng.Int63n(blocks)
+	default:
+		blk = g.seq % blocks
+		g.seq++
+	}
+
+	req := trace.Request{Op: op, LBA: blk * sectorsPerBlock, Bytes: g.spec.BlockSize}
+	if g.spec.Arrival.Open() {
+		req.ArrivalUS = g.nextArrivalUS()
+	}
+	return req, true
+}
+
+// hotspotBlock draws from the two-region hotspot model.
+func (g *synth) hotspotBlock(blocks int64) int64 {
+	hot := int64(float64(blocks) * g.spec.Skew.HotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= blocks {
+		return g.rng.Int63n(blocks)
+	}
+	if g.rng.Bool(g.spec.Skew.HotProb) {
+		return g.rng.Int63n(hot)
+	}
+	return hot + g.rng.Int63n(blocks-hot)
+}
+
+// nextArrivalUS advances the open-loop clock by one inter-arrival gap.
+func (g *synth) nextArrivalUS() float64 {
+	a := g.spec.Arrival
+	meanUS := 1e6 / a.RateIOPS
+	gap := -math.Log(1-g.rng.Float64()) * meanUS
+	if a.Kind == ArrivalOnOff {
+		// Consume ON time; arrivals falling past the window spill over the
+		// OFF silence into the next burst.
+		for gap > g.onRemainUS {
+			gap -= g.onRemainUS
+			g.clockUS += g.onRemainUS + a.OffMS*1000
+			g.onRemainUS = a.OnMS * 1000
+		}
+		g.onRemainUS -= gap
+	}
+	g.clockUS += gap
+	return g.clockUS
+}
+
+// zipf draws zipfian-distributed ranks over [0, n) with exponent theta and
+// scrambles them over the span (YCSB's scrambled-zipfian construction), so
+// the popular blocks are scattered rather than clustered at LBA 0.
+type zipf struct {
+	n            int64
+	theta        float64
+	alpha, eta   float64
+	zetan, zeta2 float64
+	halfPowTheta float64
+}
+
+// zetaCut bounds the exact harmonic sum; beyond it the tail is integrated
+// analytically, keeping construction O(min(n, zetaCut)).
+const zetaCut = 1 << 20
+
+func newZipf(n int64, theta float64) *zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.halfPowTheta = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+// zeta computes sum_{i=1..n} i^-theta, switching to the integral
+// approximation past zetaCut.
+func zeta(n int64, theta float64) float64 {
+	m := n
+	if m > zetaCut {
+		m = zetaCut
+	}
+	sum := 0.0
+	for i := int64(1); i <= m; i++ {
+		sum += math.Pow(float64(i), -theta)
+	}
+	if n > m {
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(m), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+// next draws one scrambled rank.
+func (z *zipf) next(rng *sim.RNG) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	var rank int64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < z.halfPowTheta:
+		rank = 1
+	default:
+		rank = int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	return int64(scramble(uint64(rank)) % uint64(z.n))
+}
+
+// scramble is the splitmix64 finalizer: a fixed bijective hash spreading
+// zipf ranks over the block space deterministically.
+func scramble(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// Clocked generators accept the simulation clock (in microseconds). The
+// platform wires it in so the phased generator can rebase open-loop arrival
+// clocks at phase boundaries that follow device-paced (closed-loop) phases,
+// whose end time is unknowable at generation time.
+type Clocked interface {
+	SetClock(now func() float64)
+}
+
+// phased concatenates sub-generators. Non-zero arrival times are offset so
+// each phase's open-loop clock continues where the previous one stopped:
+// after an open-loop phase the offset is that phase's last arrival, and
+// after a closed-loop phase (arrivals all 0, paced by the device) it is the
+// simulation clock at the boundary, when one was wired via SetClock.
+type phased struct {
+	gens     []Generator
+	idx      int
+	baseUS   float64        // accumulated arrival offset from completed phases
+	phaseMax float64        // max raw arrival seen in the current phase
+	nowUS    func() float64 // simulation clock; nil outside a platform run
+}
+
+// SetClock implements Clocked.
+func (p *phased) SetClock(now func() float64) { p.nowUS = now }
+
+// Next implements Generator.
+func (p *phased) Next() (trace.Request, bool) {
+	for p.idx < len(p.gens) {
+		req, ok := p.gens[p.idx].Next()
+		if ok {
+			if req.ArrivalUS > p.phaseMax {
+				p.phaseMax = req.ArrivalUS
+			}
+			if req.ArrivalUS > 0 {
+				req.ArrivalUS += p.baseUS
+			}
+			return req, true
+		}
+		p.idx++
+		closed := p.phaseMax == 0
+		p.baseUS += p.phaseMax
+		p.phaseMax = 0
+		if closed && p.nowUS != nil {
+			// The boundary is crossed lazily, when the player pulls the next
+			// phase's first request — i.e. at the moment the previous phase
+			// finished issuing. A closed-loop phase contributes no arrival
+			// offset, so the simulation clock is the phase's real end. After
+			// an open-loop phase the declared arrival timeline stands: any
+			// gap between it and the clock is backlog that must keep
+			// queueing into the next phase, not be erased.
+			if now := p.nowUS(); now > p.baseUS {
+				p.baseUS = now
+			}
+		}
+	}
+	return trace.Request{}, false
+}
+
+// Reset implements Generator.
+func (p *phased) Reset() {
+	for _, g := range p.gens {
+		g.Reset()
+	}
+	p.idx = 0
+	p.baseUS = 0
+	p.phaseMax = 0
+}
+
+// Close releases any replay phases.
+func (p *phased) Close() error {
+	var first error
+	for _, g := range p.gens {
+		if c, ok := g.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Err surfaces the first error any replay phase hit.
+func (p *phased) Err() error {
+	for _, g := range p.gens {
+		if e, ok := g.(interface{ Err() error }); ok {
+			if err := e.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Replay streams a trace file through the Generator interface — file replay
+// is just another workload. Parse errors stop the stream and are reported
+// by Err (the platform checks after draining).
+type Replay struct {
+	f   *os.File
+	r   *trace.Reader
+	err error
+}
+
+// OpenReplay opens path for streaming replay.
+func OpenReplay(path string) (*Replay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return &Replay{f: f, r: trace.ParseReader(f)}, nil
+}
+
+// Next implements Generator.
+func (r *Replay) Next() (trace.Request, bool) {
+	if r.err != nil {
+		return trace.Request{}, false
+	}
+	req, ok := r.r.Next()
+	if !ok {
+		r.err = r.r.Err()
+	}
+	return req, ok
+}
+
+// Reset implements Generator by rewinding the file.
+func (r *Replay) Reset() {
+	if _, err := r.f.Seek(0, 0); err != nil {
+		r.err = err
+		return
+	}
+	r.err = nil
+	r.r = trace.ParseReader(r.f)
+}
+
+// Err returns the parse or I/O error that ended the stream, if any.
+func (r *Replay) Err() error { return r.err }
+
+// Close releases the underlying file.
+func (r *Replay) Close() error { return r.f.Close() }
+
+// TraceInfo summarises a streaming pre-scan of a trace file.
+type TraceInfo struct {
+	Requests      int
+	Writes        int
+	RandomWrites  bool  // >50% of writes break sequentiality (the WAF rule)
+	ReadSpanBytes int64 // smallest span covering every read's extent
+	TotalBytes    int64
+}
+
+// ScanStream drains a request source and classifies it: write-address
+// randomness (the WAF sequentiality rule: >50% of writes breaking
+// consecutive order) and the extent a non-mapper platform must preload for
+// its reads. Shared by the file pre-scan and materialised trace replay.
+func ScanStream(src interface{ Next() (trace.Request, bool) }) TraceInfo {
+	var info TraceInfo
+	expected := int64(-1)
+	randWrites := 0
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		info.Requests++
+		info.TotalBytes += req.Bytes
+		switch req.Op {
+		case trace.OpWrite:
+			info.Writes++
+			if expected >= 0 && req.LBA != expected {
+				randWrites++
+			}
+			expected = req.EndLBA()
+		case trace.OpRead:
+			if end := req.EndLBA() * trace.SectorSize; end > info.ReadSpanBytes {
+				info.ReadSpanBytes = end
+			}
+		}
+	}
+	info.RandomWrites = info.Writes > 0 && float64(randWrites) > 0.5*float64(info.Writes)
+	return info
+}
+
+// ScanTrace streams through a trace file once (constant memory) and
+// classifies it. Callers feed the results into
+// Spec{TracePath, SpanBytes, ReplaySeqWrites, ReplayNoReads}.
+func ScanTrace(path string) (TraceInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TraceInfo{}, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	r := trace.ParseReader(f)
+	info := ScanStream(r)
+	if err := r.Err(); err != nil {
+		return info, err
+	}
+	return info, nil
+}

@@ -25,14 +25,29 @@ import (
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Config is a complete platform description (topology, host interface, NAND
 // profile, buffer policy, ECC, compressor, FTL abstraction, CPU).
 type Config = config.Platform
 
-// Workload is a synthetic IOZone-style benchmark description.
-type Workload = trace.WorkloadSpec
+// Workload declares a streaming workload: the paper's synthetic IOZone
+// patterns plus mixed read/write ratios, zipfian/hotspot address skew,
+// open-loop arrival processes, multi-phase scenarios and trace replay.
+type Workload = workload.Spec
+
+// Generator is the pull-based request stream a Workload compiles to.
+type Generator = workload.Generator
+
+// Skew selects the address distribution of a synthetic workload.
+type Skew = workload.Skew
+
+// Arrival selects the arrival process of a synthetic workload.
+type Arrival = workload.Arrival
+
+// LatencyStats is one op class's latency summary (µs) in a Result.
+type LatencyStats = workload.LatStats
 
 // Result is the outcome of one simulated run.
 type Result = core.Result
@@ -106,6 +121,17 @@ func NewWorkload(pattern string, blockBytes, spanBytes int64, requests int) (Wor
 	return w, w.Validate()
 }
 
+// ParseSkew decodes "uniform", "zipf:<theta>" or "hotspot:<frac>:<prob>".
+func ParseSkew(s string) (Skew, error) { return workload.ParseSkew(s) }
+
+// ParseArrival decodes "closed", "poisson:<iops>" or
+// "onoff:<iops>:<on_ms>:<off_ms>".
+func ParseArrival(s string) (Arrival, error) { return workload.ParseArrival(s) }
+
+// NewGenerator compiles a workload into its pull-based request stream, for
+// callers that drive the host interface (or a trace file) directly.
+func NewGenerator(w Workload) (Generator, error) { return w.Generator() }
+
 // Run builds a fresh platform from cfg and executes the workload in the
 // given measurement mode. Platforms are single-use; Run hides that.
 func Run(cfg Config, w Workload, mode Mode) (Result, error) {
@@ -135,6 +161,16 @@ func WriteTraceFile(path string, reqs []trace.Request) error {
 	defer f.Close()
 	return trace.Write(f, reqs)
 }
+
+// TraceInfo is the result of a streaming trace pre-scan.
+type TraceInfo = workload.TraceInfo
+
+// ScanTraceFile streams through a trace file once (constant memory) and
+// classifies it for replay: write-address randomness (WAF) and the read
+// extent to preload. Feed the results into Workload{TracePath, SpanBytes,
+// ReplaySeqWrites, ReplayNoReads} for streaming replay in any measurement
+// mode.
+func ScanTraceFile(path string) (TraceInfo, error) { return workload.ScanTrace(path) }
 
 // RunTrace executes an explicit request list (e.g. a parsed trace file)
 // against a platform configuration in ModeFull.
@@ -214,4 +250,4 @@ func Explore(ctx context.Context, s Space, workers int) ([]Eval, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.1.0"
+const Version = "1.2.0"
