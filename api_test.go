@@ -416,23 +416,31 @@ func TestPreconditionThenOpenLoopPacing(t *testing.T) {
 	}
 }
 
-// TestPhasedReplayNeedsSpan: a replay phase without SpanBytes must be
-// rejected up front on a non-mapper platform, like a bare replay spec.
-func TestPhasedReplayNeedsSpan(t *testing.T) {
+// TestReplayWithoutSpan: a replay spec no longer needs a pre-scanned
+// SpanBytes — reads beyond the declared span preload lazily on first touch,
+// so the file streams through a non-mapper platform in a single pass.
+func TestReplayWithoutSpan(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "w.trace")
-	w, _ := NewWorkload("SW", 4096, 1<<24, 10)
+	w, _ := NewWorkload("SR", 4096, 1<<24, 64)
 	reqs, _ := w.Generate()
 	if err := WriteTraceFile(path, reqs); err != nil {
 		t.Fatal(err)
 	}
-	pre, _ := NewWorkload("SW", 4096, 1<<24, 10)
-	_, err := Run(DefaultConfig(), Workload{Phases: []Workload{pre, {TracePath: path}}}, ModeFull)
-	if err == nil {
-		t.Fatal("phased replay without SpanBytes accepted on a non-mapper platform")
+	res, err := Run(DefaultConfig(), Workload{TracePath: path}, ModeFull)
+	if err != nil {
+		t.Fatalf("bare replay without SpanBytes: %v", err)
 	}
-	if _, err := Run(DefaultConfig(), Workload{TracePath: path}, ModeFull); err == nil {
-		t.Fatal("bare replay without SpanBytes accepted")
+	if res.Completed != 64 {
+		t.Fatalf("completed %d of 64 replayed reads", res.Completed)
+	}
+	pre, _ := NewWorkload("SW", 4096, 1<<24, 10)
+	res, err = Run(DefaultConfig(), Workload{Phases: []Workload{pre, {TracePath: path}}}, ModeFull)
+	if err != nil {
+		t.Fatalf("phased replay without SpanBytes: %v", err)
+	}
+	if res.Completed != 74 {
+		t.Fatalf("completed %d of 74 phased ops", res.Completed)
 	}
 }
 

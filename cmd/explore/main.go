@@ -46,7 +46,7 @@ func main() {
 		span     = flag.Int64("span", 1<<28, "addressable span in bytes")
 		requests = flag.Int("requests", 2000, "requests per point")
 		preset   = flag.String("preset", "default", "base configuration preset for unswept axes")
-		objSpec  = flag.String("objectives", "mbps,latency,waf", "Pareto objectives (mbps, ramp, latency, p99, p999, readp99, writep99, waf, erases, wearout, gc, events)")
+		objSpec  = flag.String("objectives", "mbps,latency,waf", "Pareto objectives (mbps, ramp, latency, p99, p999, readp99, writep99, waf, erases, wearout, gc, events, backlog, and per-stage tails: queuedp99, wirep99, cpup99, dramp99, chanp99, nandp99, eccp99)")
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel workers")
 		sample   = flag.Int("sample", 0, "evaluate only N seeded-random points of the space (0 = all)")
 		seed     = flag.Uint64("seed", 1, "sampling seed")

@@ -33,7 +33,8 @@ func main() {
 		mix        = flag.Float64("mix", 0, "write fraction for mixed read/write traffic (0 = pattern direction)")
 		skew       = flag.String("skew", "", "address skew: uniform, zipf:<theta>, hotspot:<frac>:<prob>")
 		arrival    = flag.String("arrival", "", "arrival process: closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>")
-		precond    = flag.Int("precondition", 0, "sequential-write requests issued as a phase before the measured workload")
+		precond    = flag.Int("precondition", 0, "sequential-write requests issued as an unmeasured phase before the measured workload")
+		phasesSpec = flag.String("phases", "", "multi-phase scenario, e.g. '4000xSW;8000xRR,skew=zipf:0.9,record' (overrides -pattern/-requests; record flags the measured window)")
 		mode       = flag.String("mode", "ssd", "measurement mode: ssd, host-ideal, host+ddr, ddr+flash")
 		tracePath  = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
 		dump       = flag.Bool("dumpconfig", false, "print the resolved configuration and exit")
@@ -64,26 +65,32 @@ func main() {
 	}
 
 	var res ssdx.Result
-	if *tracePath != "" {
-		// Streaming replay: one constant-memory pre-scan classifies the
-		// write pattern (WAF) and read extent, then the file streams
-		// through the platform as just another generator. The preload
-		// covers exactly the trace's observed read extent.
-		info, err := ssdx.ScanTraceFile(*tracePath)
+	switch {
+	case *tracePath != "":
+		// Single-pass streaming replay: no pre-scan. The platform preloads
+		// read targets lazily on first touch and adapts the WAF abstraction
+		// to the stream's windowed write classification while the file
+		// plays.
+		var err error
+		res, err = ssdx.Run(cfg, ssdx.Workload{TracePath: *tracePath}, m)
 		if err != nil {
 			fatal(err)
 		}
-		w := ssdx.Workload{
-			TracePath:       *tracePath,
-			SpanBytes:       info.ReadSpanBytes,
-			ReplaySeqWrites: !info.RandomWrites,
-			ReplayNoReads:   info.ReadSpanBytes == 0,
+	case *phasesSpec != "":
+		if *mix != 0 || *skew != "" || *arrival != "" || *precond > 0 {
+			fatal(fmt.Errorf("-phases cannot be combined with -mix/-skew/-arrival/-precondition; set those per phase in the spec (e.g. %q)",
+				"8000xRR,mix=0.3,skew=zipf:0.9,arrival=poisson:30000,record"))
+		}
+		base := ssdx.Workload{BlockSize: *block, SpanBytes: *span, Seed: *seed}
+		w, err := ssdx.ParsePhases(*phasesSpec, base)
+		if err != nil {
+			fatal(err)
 		}
 		res, err = ssdx.Run(cfg, w, m)
 		if err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		w, err := ssdx.NewWorkload(*pattern, *block, *span, *requests)
 		if err != nil {
 			fatal(err)
@@ -97,7 +104,10 @@ func main() {
 			fatal(err)
 		}
 		if *precond > 0 {
+			// The preconditioning phase shapes device state but stays out
+			// of the measured window: only the main workload is recorded.
 			measure := w
+			measure.Record = true
 			pre := ssdx.Workload{
 				Pattern: ssdx.SeqWrite, BlockSize: *block, SpanBytes: *span,
 				Requests: *precond, Seed: *seed,
@@ -120,8 +130,33 @@ func main() {
 	}
 	printLat("read", res.ReadLat)
 	printLat("write", res.WriteLat)
+	if res.Saturated {
+		fmt.Printf("  SATURATED: arrival backlog growing at %.2f s/s — offered load exceeds device capacity; latency figures describe the run length, not the device\n",
+			res.BacklogGrowth)
+	}
+	stages := ssdx.Stages()
+	if res.AllLat.Ops > 0 {
+		fmt.Printf("  stage mean us:")
+		for _, st := range stages {
+			if s := res.Stages.ByStage(st); s.MeanUS > 0 {
+				fmt.Printf("  %v %.1f", st, s.MeanUS)
+			}
+		}
+		fmt.Println()
+	}
 	if *verbose {
 		printLat("all", res.AllLat)
+		for _, st := range stages {
+			s := res.Stages.ByStage(st)
+			if s.Ops == 0 {
+				continue
+			}
+			fmt.Printf("  stage %-6v us: mean %.1f  p50 %.1f  p99 %.1f  max %.1f\n",
+				st, s.MeanUS, s.P50US, s.P99US, s.MaxUS)
+		}
+		if res.BacklogGrowth != 0 {
+			fmt.Printf("  backlog growth %.4f s/s\n", res.BacklogGrowth)
+		}
 		fmt.Printf("  steady %.1f MB/s (whole-run %.1f)\n", res.MBps, res.RampMBps)
 		fmt.Printf("  sim time %v, wall %.2fs, %d events, %.0f KCPS\n",
 			res.SimTime, res.WallSeconds, res.Events, res.KCPS)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/hostif"
 	"repro/internal/nand"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Mode selects what part of the platform a run exercises — the paper's
@@ -106,6 +107,16 @@ type Platform struct {
 	// Bookkeeping.
 	flashWritesInFlight int
 	rng                 *sim.RNG
+
+	// Replay classification state: liveClass is the streaming generator's
+	// windowed classifier (nil outside adaptive replay), wafRandom the
+	// write-address regime the current WAF model was resolved for, and
+	// lazyPreload allows reads beyond the declared span to preload their
+	// target page on first touch.
+	liveClass   *workload.Classifier
+	wafRandom   bool
+	writeCmds   uint64
+	lazyPreload bool
 
 	stats runStats
 }
@@ -493,5 +504,6 @@ func (p *Platform) resolveWAF(randomWrites bool) error {
 		return err
 	}
 	p.wafModel = m
+	p.wafRandom = randomWrites
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/hostif"
 	"repro/internal/nand"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -40,10 +41,27 @@ type Result struct {
 
 	// Per-op-class command latency (host-perceived, queued-to-completion,
 	// microseconds): reads and writes measured separately plus the
-	// combined distribution over every op class.
+	// combined distribution over every op class. When the workload flags
+	// record phases, the distributions cover only the measured window.
 	ReadLat  workload.LatStats
 	WriteLat workload.LatStats
 	AllLat   workload.LatStats
+
+	// Stages attributes the same command latency to pipeline stages
+	// (queued, wire, CPU, DRAM, chan, NAND, ECC) by critical-path
+	// watermarking; the stage means sum to AllLat's mean. This is the
+	// paper's breakdown philosophy applied to latency instead of
+	// throughput.
+	Stages telemetry.Breakdown
+
+	// Open-loop saturation: when offered load exceeds device capacity the
+	// arrival backlog grows without bound and the latency figures describe
+	// the run length, not the device. BacklogGrowth is the fitted growth
+	// rate of arrival lag over the declared arrival timeline
+	// (dimensionless; approaches λ/μ - 1 for offered rate λ above service
+	// rate μ) and Saturated flags growth beyond the detection threshold.
+	Saturated     bool
+	BacklogGrowth float64
 
 	// Microarchitectural observability (the paper's FGDSE purpose).
 	WAF           float64
@@ -80,9 +98,10 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 	if mode == ModeDDRFlash && !w.Simple() {
 		return Result{}, errors.New("core: ddr+flash drain mode measures plain closed-loop synthetic workloads only")
 	}
-	if p.mapper == nil && w.UnboundedReplay() {
-		return Result{}, errors.New("core: trace replay without a mapping FTL needs SpanBytes covering the read extent")
-	}
+	// Trace replay needs no pre-scan: reads beyond the declared span
+	// preload on demand, and the WAF abstraction re-resolves from the
+	// replay generator's windowed classification as the file streams.
+	p.lazyPreload = w.HasReplay()
 	if err := p.resolveWAF(w.RandomWrites()); err != nil {
 		return Result{}, err
 	}
@@ -121,6 +140,13 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 	res.Events = p.K.Executed
 	res.SimTime = p.K.Now()
 	res.WAF = p.wafModel.WAF
+	if p.liveClass != nil && p.stats.userPages > 0 {
+		// Live reclassification switches WAF models mid-run; report the
+		// amplification actually applied over the whole replay (user plus
+		// injected GC pages per user page), not the final regime's
+		// constant.
+		res.WAF = float64(p.stats.userPages+p.stats.gcCopies) / float64(p.stats.userPages)
+	}
 	if p.mapper != nil && p.mapper.m.Stats.UserWrites > 0 {
 		res.WAF = p.mapper.m.MeasuredWAF()
 	}
@@ -145,6 +171,12 @@ func (p *Platform) runHosted(w workload.Spec, mode Mode) (Result, error) {
 	}
 	if c, ok := gen.(workload.Clocked); ok {
 		c.SetClock(func() float64 { return p.K.Now().Microseconds() })
+	}
+	// Live WAF re-resolution while a trace replays (WAF-abstraction mode
+	// only; an explicit override pins the value and the mapper FTL measures
+	// its own amplification).
+	if cg, ok := gen.(workload.Classifying); ok && p.mapper == nil && p.Cfg.WAFOverride == 0 {
+		p.liveClass = cg.Classification()
 	}
 	drained := false
 	handler := func(cmd *hostif.Command) { p.handleCommand(cmd, mode) }
@@ -171,6 +203,8 @@ func (p *Platform) runHosted(w workload.Spec, mode Mode) (Result, error) {
 	res.ReadLat = p.Host.Latency().Read()
 	res.WriteLat = p.Host.Latency().Write()
 	res.AllLat = p.Host.Latency().All()
+	res.Stages = p.Host.StageBreakdown()
+	res.Saturated, res.BacklogGrowth = p.Host.Saturation()
 	return res, nil
 }
 
@@ -181,6 +215,7 @@ func (p *Platform) handleCommand(cmd *hostif.Command, mode Mode) {
 		return
 	}
 	req := cmd.Req
+	p.maybeReclassify()
 	switch req.Op {
 	case trace.OpWrite:
 		p.handleWrite(cmd, mode)
@@ -189,11 +224,44 @@ func (p *Platform) handleCommand(cmd *hostif.Command, mode Mode) {
 	case trace.OpTrim, trace.OpFlush:
 		// Firmware bookkeeping; the real FTL also unmaps.
 		p.cpuCost(req, 1, func() {
+			cmd.Span.Advance(telemetry.StageCPU, p.K.Now())
 			if req.Op == trace.OpTrim && p.mapper != nil {
 				p.mapperTrim(req)
 			}
 			p.Host.Complete(cmd)
 		})
+	}
+}
+
+// reclassifyEvery is how many commands elapse between looks at the replay
+// classifier's windowed sequentiality estimate.
+const reclassifyEvery = 64
+
+// maybeReclassify re-resolves the WAF abstraction from the live windowed
+// classification of a streaming trace replay — the single-pass replacement
+// for the old pre-scan: the model starts at the conservative random value
+// and relaxes (or re-tightens) as the trailing write window changes regime.
+// A stream that has issued no writes at all relaxes to the sequential model
+// (there is no write traffic to amplify).
+func (p *Platform) maybeReclassify() {
+	if p.liveClass == nil {
+		return
+	}
+	p.writeCmds++
+	if p.writeCmds%reclassifyEvery != 0 {
+		return
+	}
+	random := false
+	if p.liveClass.Info().Writes > 0 {
+		if !p.liveClass.Confident() {
+			return // too few writes in the window to trust the estimate
+		}
+		random = p.liveClass.RandomWrites()
+	}
+	if random != p.wafRandom {
+		if err := p.resolveWAF(random); err != nil {
+			panic(fmt.Sprintf("core: WAF reclassification failed: %v", err))
+		}
 	}
 }
 
@@ -269,6 +337,7 @@ func (p *Platform) handleWrite(cmd *hostif.Command, mode Mode) {
 	req := cmd.Req
 	pages := p.pagesOf(req.Bytes)
 	afterCPU := func() {
+		cmd.Span.Advance(telemetry.StageCPU, p.K.Now())
 		// Host-side compression shrinks everything downstream of the host
 		// interface (AHB crossing, DRAM, NAND).
 		hostCompress := func(then func(ddrBytes int64)) {
@@ -302,6 +371,7 @@ func (p *Platform) handleWrite(cmd *hostif.Command, mode Mode) {
 			moveToDRAM := func(then func()) {
 				if err := p.hostDMA.Transfer(ddrBytes, nil, func(_, _ sim.Time) {
 					buf.Access(true, req.LBA*trace.SectorSize, ddrBytes, func(_, _ sim.Time) {
+						cmd.Span.Advance(telemetry.StageDRAM, p.K.Now())
 						then()
 					})
 				}); err != nil {
@@ -315,6 +385,9 @@ func (p *Platform) handleWrite(cmd *hostif.Command, mode Mode) {
 			// Backpressure: the finite write cache must admit every page
 			// before the host data can land in DRAM.
 			p.acquireCachePages(flashPages, func() {
+				// Admission wait is the flash drain showing through the
+				// finite cache: charge it to the NAND stage.
+				cmd.Span.Advance(telemetry.StageNAND, p.K.Now())
 				moveToDRAM(func() {
 					// Channel compressor occupancy sits between DRAM and
 					// the channel controller.
@@ -330,6 +403,10 @@ func (p *Platform) handleWrite(cmd *hostif.Command, mode Mode) {
 							return
 						}
 						onPage := func() {
+							// Program completion: ONFI bus, ECC encode and
+							// tPROG ride the batched write path and land
+							// here as one flash interval.
+							cmd.Span.Advance(telemetry.StageNAND, p.K.Now())
 							p.writeCache.Release()
 							remaining--
 							if completeAtProgram && remaining == 0 {
@@ -361,11 +438,13 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 	req := cmd.Req
 	pages := p.pagesOf(req.Bytes)
 	afterCPU := func() {
+		cmd.Span.Advance(telemetry.StageCPU, p.K.Now())
 		if mode == ModeHostDDR {
 			// DRAM-only path: read the buffer and DMA to the host.
 			buf := p.DRAM.ForChannel(0)
 			buf.Access(false, req.LBA*trace.SectorSize, req.Bytes, func(_, _ sim.Time) {
 				if err := p.hostDMA.Transfer(req.Bytes, nil, func(_, _ sim.Time) {
+					cmd.Span.Advance(telemetry.StageDRAM, p.K.Now())
 					p.Host.Complete(cmd)
 				}); err != nil {
 					panic(err)
@@ -385,6 +464,7 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 					// Unwritten/trimmed page: the real FTL answers from
 					// the map without touching flash (zero-fill read).
 					if err := p.hostDMA.Transfer(int64(p.pageBytes), nil, func(_, _ sim.Time) {
+						cmd.Span.Advance(telemetry.StageDRAM, p.K.Now())
 						remaining--
 						if remaining == 0 {
 							p.Host.Complete(cmd)
@@ -399,10 +479,23 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 				gdie, addr = p.readAddr(basePage + int64(i))
 			}
 			chIdx, die := p.chanDie(gdie)
+			if p.lazyPreload && p.mapper == nil {
+				// Replay reads can touch pages no declared span covered:
+				// model them as pre-existing data, preloaded on first
+				// touch, instead of demanding a pre-scan of the trace.
+				d := p.Channels[chIdx].Die(die)
+				if ok, err := d.PageProgrammed(addr); err == nil && !ok {
+					if err := d.Preload(addr); err != nil {
+						panic(fmt.Sprintf("core: lazy preload failed: %v", err))
+					}
+				}
+			}
 			p.stats.flashReads++
-			err := p.Channels[chIdx].Read(die, addr, p.pageBytes, func() {
+			err := p.Channels[chIdx].ReadTraced(die, addr, p.pageBytes, &cmd.Span, func() {
 				p.eccDecode(1, func() {
+					cmd.Span.Advance(telemetry.StageECC, p.K.Now())
 					if err := p.hostDMA.Transfer(int64(p.pageBytes), nil, func(_, _ sim.Time) {
+						cmd.Span.Advance(telemetry.StageDRAM, p.K.Now())
 						remaining--
 						if remaining == 0 {
 							p.Host.Complete(cmd)
@@ -531,7 +624,9 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 		ReadLat:    p.Host.Latency().Read(),
 		WriteLat:   p.Host.Latency().Write(),
 		AllLat:     p.Host.Latency().All(),
+		Stages:     p.Host.StageBreakdown(),
 	}
+	res.Saturated, res.BacklogGrowth = p.Host.Saturation()
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	if res.WallSeconds > 0 {
 		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.K.Now())) / 1000 / res.WallSeconds

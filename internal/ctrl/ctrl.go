@@ -18,6 +18,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/nand"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // GangMode selects the channel/way interconnection scheme.
@@ -212,10 +213,11 @@ const (
 type dieOp struct {
 	kind      dieOpKind
 	addrs     []nand.Addr
-	bytes     int64 // total payload bytes
-	fetched   bool  // write prefetch (DRAM+AHB) complete
-	prepped   bool  // write prep stage (e.g. ECC encode) complete
-	slotReady bool  // read SRAM slot reserved
+	bytes     int64           // total payload bytes
+	fetched   bool            // write prefetch (DRAM+AHB) complete
+	prepped   bool            // write prep stage (e.g. ECC encode) complete
+	slotReady bool            // read SRAM slot reserved
+	span      *telemetry.Span // stage attribution target (reads; may be nil)
 	done      func()
 }
 
@@ -284,16 +286,32 @@ func (ch *Channel) startWrite(die int, op *dieOp) {
 func (ch *Channel) startRead(die int, op *dieOp) {
 	// Stage 1: command/address cycles, then the array sense.
 	ch.acquireCmd(func() {
+		if op.span != nil {
+			// Die-queue wait plus command/address cycles: channel stage.
+			op.span.Advance(telemetry.StageChan, ch.k.Now())
+		}
 		_, err := ch.dies[die].Read(op.addrs[0], func() {
+			if op.span != nil {
+				// Array sense (tR): NAND stage.
+				op.span.Advance(telemetry.StageNAND, ch.k.Now())
+			}
 			// Stage 2: data-out cycles on the data bus (the SRAM slot was
 			// reserved at enqueue, keeping slot-grant order equal to
 			// command order — a FIFO property that rules out deadlock).
 			ch.dataBus(die).Acquire(ch.tim.DataTransferTime(int(op.bytes)), func(_, end sim.Time) {
 				ch.k.At(end, func() {
+					if op.span != nil {
+						// Data-out bus occupancy: channel stage.
+						op.span.Advance(telemetry.StageChan, end)
+					}
 					ch.release(die)
 					// Stage 3: PP-DMA pushes to DRAM over the AHB.
 					if err := ch.ppDMA.Transfer(op.bytes, nil, func(_, _ sim.Time) {
 						ch.buf.Access(true, int64(ch.ID)*op.bytes, op.bytes, func(_, _ sim.Time) {
+							if op.span != nil {
+								// AHB DMA + DDR landing: DRAM stage.
+								op.span.Advance(telemetry.StageDRAM, ch.k.Now())
+							}
 							ch.Stats.PageReads++
 							ch.Stats.BytesFromNAND += uint64(op.bytes)
 							ch.cache.Release()
@@ -388,13 +406,22 @@ func (ch *Channel) WriteMultiPrep(die int, addrs []nand.Addr, pageBytes int, pre
 // Read senses die/addr and moves the page back into the DRAM buffer. done
 // fires when the data lands in DRAM.
 func (ch *Channel) Read(die int, addr nand.Addr, pageBytes int, done func()) error {
+	return ch.ReadTraced(die, addr, pageBytes, nil, done)
+}
+
+// ReadTraced is Read with per-stage latency attribution onto sp (nil skips
+// attribution). The controller knows the stage boundaries the caller cannot
+// see: die-queue wait and ONFI command/data cycles go to the channel stage,
+// the array sense to the NAND stage, and the PP-DMA push into the buffer to
+// the DRAM stage.
+func (ch *Channel) ReadTraced(die int, addr nand.Addr, pageBytes int, sp *telemetry.Span, done func()) error {
 	if err := ch.checkDie(die); err != nil {
 		return err
 	}
 	if pageBytes <= 0 {
 		return errors.New("ctrl: non-positive page size")
 	}
-	op := &dieOp{kind: opRead, addrs: []nand.Addr{addr}, bytes: int64(pageBytes), done: done}
+	op := &dieOp{kind: opRead, addrs: []nand.Addr{addr}, bytes: int64(pageBytes), span: sp, done: done}
 	ch.enqueue(die, op)
 	ch.cache.AcquireWhenFree(func() {
 		op.slotReady = true

@@ -6,19 +6,34 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/telemetry"
 )
 
 // csvHeader lists the flattened sweep columns: the swept inputs first, then
-// the measured outputs.
-var csvHeader = []string{
-	"index", "name", "channels", "ways", "dies_per_way", "ddr_buffers",
-	"host_if", "nand_profile", "ecc_scheme", "ftl_mode", "cache_policy",
-	"pattern", "block_bytes", "requests", "write_frac", "skew", "arrival", "mode",
-	"mbps", "ramp_mbps",
-	"mean_lat_us", "p50_lat_us", "p99_lat_us", "p999_lat_us",
-	"read_ops", "read_p99_us", "write_ops", "write_p99_us", "waf",
-	"erases", "gc_copies", "flash_writes", "flash_reads", "events",
-	"sim_ns", "cached", "err",
+// the measured outputs. Stage columns (p50/p99 per pipeline stage, in
+// telemetry.Stages order) are appended programmatically so the header can
+// never drift from the stage set.
+var csvHeader = buildCSVHeader()
+
+func buildCSVHeader() []string {
+	h := []string{
+		"index", "name", "channels", "ways", "dies_per_way", "ddr_buffers",
+		"host_if", "nand_profile", "ecc_scheme", "ftl_mode", "cache_policy",
+		"pattern", "block_bytes", "requests", "write_frac", "skew", "arrival", "mode",
+		"mbps", "ramp_mbps",
+		"mean_lat_us", "p50_lat_us", "p99_lat_us", "p999_lat_us",
+		"read_ops", "read_p99_us", "write_ops", "write_p99_us",
+	}
+	for _, st := range telemetry.Stages() {
+		h = append(h, st.String()+"_p50_us", st.String()+"_p99_us")
+	}
+	h = append(h,
+		"saturated", "backlog_growth", "waf",
+		"erases", "gc_copies", "flash_writes", "flash_reads", "events",
+		"sim_ns", "cached", "err",
+	)
+	return h
 }
 
 // WriteCSV renders evaluations as one flat CSV table, one row per point.
@@ -52,7 +67,14 @@ func WriteCSV(w io.Writer, evals []Eval) error {
 			f(r.MBps), f(r.RampMBps),
 			f(r.AllLat.MeanUS), f(r.AllLat.P50US), f(r.AllLat.P99US), f(r.AllLat.P999US),
 			strconv.FormatUint(r.ReadLat.Ops, 10), f(r.ReadLat.P99US),
-			strconv.FormatUint(r.WriteLat.Ops, 10), f(r.WriteLat.P99US), f(r.WAF),
+			strconv.FormatUint(r.WriteLat.Ops, 10), f(r.WriteLat.P99US),
+		}
+		for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+			s := r.Stages.ByStage(st)
+			row = append(row, f(s.P50US), f(s.P99US))
+		}
+		row = append(row,
+			strconv.FormatBool(r.Saturated), f(r.BacklogGrowth), f(r.WAF),
 			strconv.FormatUint(r.Erases, 10),
 			strconv.FormatUint(r.GCCopies, 10),
 			strconv.FormatUint(r.FlashWrites, 10),
@@ -61,7 +83,7 @@ func WriteCSV(w io.Writer, evals []Eval) error {
 			strconv.FormatInt(int64(r.SimTime), 10),
 			strconv.FormatBool(ev.Cached),
 			ev.Err,
-		}
+		)
 		if err := cw.Write(row); err != nil {
 			return err
 		}

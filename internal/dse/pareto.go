@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Objective is one optimisation direction over a result metric.
@@ -47,6 +48,24 @@ var objectives = map[string]Objective{
 	}},
 	"gc":     {Name: "gc", Maximize: false, Value: func(r core.Result) float64 { return float64(r.GCCopies) }},
 	"events": {Name: "events", Maximize: false, Value: func(r core.Result) float64 { return float64(r.Events) }},
+	// Backlog growth rate: sweeps that mix open-loop arrival rates can
+	// optimise for designs that stay out of saturation.
+	"backlog": {Name: "backlog", Maximize: false, Value: func(r core.Result) float64 { return r.BacklogGrowth }},
+}
+
+// Per-stage latency objectives ("<stage>p99", e.g. nandp99): minimise one
+// pipeline stage's tail latency — sweeping on where latency comes from, not
+// just how much of it there is.
+func init() {
+	for _, st := range telemetry.Stages() {
+		st := st
+		name := st.String() + "p99"
+		objectives[name] = Objective{
+			Name:     name,
+			Maximize: false,
+			Value:    func(r core.Result) float64 { return r.Stages.ByStage(st).P99US },
+		}
+	}
 }
 
 // ObjectiveByName resolves a built-in objective.

@@ -1,0 +1,120 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestCSVStageColumnsFromRealSweep is the acceptance check for the sweep
+// export: per-stage p50/p99 columns must appear in the CSV a real evaluated
+// point produces, and the stage mean breakdown must sum to the end-to-end
+// mean within tolerance.
+func TestCSVStageColumnsFromRealSweep(t *testing.T) {
+	pt := Point{
+		Config: config.Default(),
+		Workload: workload.Spec{
+			Pattern: trace.SeqRead, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 200, Seed: 7,
+		},
+		Mode: core.ModeFull,
+	}
+	pt.Config.Name = "p0000"
+	evals, err := (&Runner{Workers: 1}).Run(t.Context(), []Point{pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 1 || evals[0].Failed() {
+		t.Fatalf("eval failed: %+v", evals)
+	}
+	r := evals[0].Result
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, evals); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := func(name string) int {
+		for i, h := range rows[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	// Every stage contributes a p50 and p99 column; the values must match
+	// the Result and parse as numbers.
+	for _, st := range telemetry.Stages() {
+		s := r.Stages.ByStage(st)
+		for suffix, want := range map[string]float64{"_p50_us": s.P50US, "_p99_us": s.P99US} {
+			cell := rows[1][col(st.String()+suffix)]
+			got, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("%v%s = %q not a float: %v", st, suffix, cell, err)
+			}
+			if got != want {
+				t.Errorf("%v%s = %v, want %v", st, suffix, got, want)
+			}
+		}
+	}
+	if rows[1][col("saturated")] != "false" {
+		t.Errorf("saturated column = %q", rows[1][col("saturated")])
+	}
+	if _, err := strconv.ParseFloat(rows[1][col("backlog_growth")], 64); err != nil {
+		t.Errorf("backlog_growth column: %v", err)
+	}
+	// Stage sums consistent with end-to-end latency (the acceptance
+	// tolerance covers only unit-conversion rounding).
+	if diff := math.Abs(r.Stages.SumMeanUS() - r.AllLat.MeanUS); diff > 0.05 {
+		t.Errorf("stage mean sum %.3f != end-to-end mean %.3f (diff %.4f)",
+			r.Stages.SumMeanUS(), r.AllLat.MeanUS, diff)
+	}
+	// A read workload must attribute real time to the flash path stages.
+	if r.Stages.NAND.MeanUS <= 0 || r.Stages.Chan.MeanUS <= 0 {
+		t.Errorf("read sweep attributed no flash-path time: nand %v chan %v",
+			r.Stages.NAND.MeanUS, r.Stages.Chan.MeanUS)
+	}
+}
+
+// TestStageObjectivesResolve: every per-stage tail objective parses and
+// reads its stage's value.
+func TestStageObjectivesResolve(t *testing.T) {
+	var r core.Result
+	r.Stages.NAND.P99US = 42
+	r.Stages.Queued.P99US = 17
+	r.BacklogGrowth = 0.25
+
+	objs, err := ParseObjectives("nandp99,queuedp99,backlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := objs[0].Value(r); got != 42 {
+		t.Errorf("nandp99 = %v, want 42", got)
+	}
+	if got := objs[1].Value(r); got != 17 {
+		t.Errorf("queuedp99 = %v, want 17", got)
+	}
+	if got := objs[2].Value(r); got != 0.25 {
+		t.Errorf("backlog = %v, want 0.25", got)
+	}
+	if objs[0].Maximize || objs[1].Maximize || objs[2].Maximize {
+		t.Error("stage objectives must minimise")
+	}
+	for _, st := range telemetry.Stages() {
+		if _, err := ObjectiveByName(st.String() + "p99"); err != nil {
+			t.Errorf("objective %vp99 missing: %v", st, err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -133,10 +134,17 @@ func (c Config) IdealMBps(blockBytes int64, write bool) float64 {
 type Command struct {
 	ID         int64
 	Req        trace.Request
-	QueuedAt   sim.Time // released by the stream (its arrival time, or later)
-	SubmitAt   sim.Time // command capsule fully received
-	DataAt     sim.Time // write data fully received (== SubmitAt for reads)
-	CompleteAt sim.Time // completion capsule sent
+	Record     bool           // pulled inside the measured window
+	Span       telemetry.Span // per-stage latency timeline (watermark attribution)
+	QueuedAt   sim.Time       // released by the stream (its arrival time, or later)
+	SubmitAt   sim.Time       // command capsule fully received
+	DataAt     sim.Time       // write data fully received (== SubmitAt for reads)
+	CompleteAt sim.Time       // completion capsule sent
+
+	// winGen is the measurement-window generation the command was issued
+	// in: a recorded command from an earlier window (still in flight when a
+	// reset opened a new one) must not leak into the new window's stats.
+	winGen uint32
 }
 
 // Stats aggregates interface activity.
@@ -166,13 +174,36 @@ type Interface struct {
 	exhausted   bool
 	started     bool
 
+	// Measured-window state. Commands pulled from record-flagged phases
+	// carry Record=true; all measurement (latency, stage breakdown,
+	// throughput log) covers only recorded commands, and crossing from an
+	// unrecorded into a recorded phase resets the window — so a
+	// precondition phase never pollutes the measured figures. Streams
+	// without phase structure record everything, exactly as before.
+	recording bool   // record flag of the most recently pulled request
+	recInit   bool   // a request has been pulled (transition detection armed)
+	winGen    uint32 // measurement-window generation (bumped by every reset)
+
 	// completion log for steady-state (tail) throughput measurement
+	// (recorded commands only)
 	complTimes []sim.Time
 	complBytes []int64
 
+	// measured-window throughput anchors (recorded commands only)
+	mFirstSubmit  sim.Time
+	mLastComplete sim.Time
+	mBytes        uint64
+	mHasSubmit    bool
+
 	// lat collects per-op-class command latency (queued-to-completion, so
-	// open-loop runs see window-queueing delay) in fixed memory.
-	lat workload.Collector
+	// open-loop runs see window-queueing delay) in fixed memory; stageRec
+	// aggregates the per-stage breakdown of the same commands.
+	lat      workload.Collector
+	stageRec telemetry.Recorder
+
+	// backlog watches open-loop arrival lag across the whole run (never
+	// reset at phase boundaries: saturation is a property of the scenario).
+	backlog telemetry.Backlog
 
 	Stats Stats
 }
@@ -183,11 +214,12 @@ func New(k *sim.Kernel, cfg Config) (*Interface, error) {
 		return nil, err
 	}
 	return &Interface{
-		cfg:    cfg,
-		k:      k,
-		rx:     sim.NewServer(k, nil, cfg.Name+"-rx"),
-		tx:     sim.NewServer(k, nil, cfg.Name+"-tx"),
-		window: sim.NewTokenGate(k, cfg.QueueDepth),
+		cfg:       cfg,
+		k:         k,
+		rx:        sim.NewServer(k, nil, cfg.Name+"-rx"),
+		tx:        sim.NewServer(k, nil, cfg.Name+"-tx"),
+		window:    sim.NewTokenGate(k, cfg.QueueDepth),
+		recording: true,
 	}, nil
 }
 
@@ -226,6 +258,17 @@ func (i *Interface) pull() {
 		i.maybeDrained()
 		return
 	}
+	// Measured-window bookkeeping: pulls happen in phase order, so the
+	// generator's record flag transitions exactly at phase boundaries. An
+	// unrecorded -> recorded crossing starts a fresh measurement window.
+	rec := true
+	if ra, ok := i.stream.(workload.RecordAware); ok {
+		rec = ra.Recording()
+	}
+	if rec && !i.recording && i.recInit {
+		i.ResetMeasurement()
+	}
+	i.recording, i.recInit = rec, true
 	at := sim.FromMicroseconds(req.ArrivalUS)
 	issue := func() {
 		// Latency clock: an open-loop request is "queued" at its declared
@@ -234,15 +277,20 @@ func (i *Interface) pull() {
 		// past-due arrivals whose backlog wait must count as latency).
 		// Closed-loop requests (arrival 0) queue when pulled.
 		queued := i.k.Now()
-		if at > 0 && at < queued {
-			queued = at
+		if at > 0 {
+			lag := sim.Time(0)
+			if at < queued {
+				queued = at
+				lag = i.k.Now() - at
+			}
+			i.backlog.Observe(at.Microseconds(), lag.Microseconds())
 		}
 		i.window.AcquireWhenFree(func() {
 			i.outstanding++
 			if i.outstanding > i.Stats.QueuePeak {
 				i.Stats.QueuePeak = i.outstanding
 			}
-			i.submit(req, queued)
+			i.submit(req, queued, rec)
 			// Keep the window full: pull the next request immediately.
 			i.pull()
 		})
@@ -256,19 +304,28 @@ func (i *Interface) pull() {
 
 // submit models the command (and write-data) wire transfer, then hands the
 // command to the platform.
-func (i *Interface) submit(req trace.Request, queued sim.Time) {
-	cmd := &Command{ID: i.nextID, Req: req, QueuedAt: queued}
+func (i *Interface) submit(req trace.Request, queued sim.Time, record bool) {
+	cmd := &Command{ID: i.nextID, Req: req, QueuedAt: queued, Record: record, winGen: i.winGen}
+	cmd.Span.Start(queued)
+	// The window slot is granted: everything since the queue time was
+	// host-side queueing (window admission plus arrival backlog).
+	cmd.Span.Advance(telemetry.StageQueued, i.k.Now())
 	i.nextID++
 	i.rx.Acquire(i.cfg.wireTime(i.cfg.CmdBytes), func(_, end sim.Time) {
 		i.k.At(end, func() {
 			cmd.SubmitAt = end
+			cmd.Span.Advance(telemetry.StageWire, end)
 			if i.Stats.FirstSubmit == 0 && i.Stats.Completed == 0 {
 				i.Stats.FirstSubmit = end
+			}
+			if record && !i.mHasSubmit {
+				i.mFirstSubmit, i.mHasSubmit = end, true
 			}
 			if req.Op == trace.OpWrite && req.Bytes > 0 {
 				i.rx.Acquire(i.cfg.wireTime(req.Bytes), func(_, dEnd sim.Time) {
 					i.k.At(dEnd, func() {
 						cmd.DataAt = dEnd
+						cmd.Span.Advance(telemetry.StageWire, dEnd)
 						i.handler(cmd)
 					})
 				})
@@ -288,16 +345,24 @@ func (i *Interface) Complete(cmd *Command) {
 		i.tx.Acquire(i.cfg.wireTime(i.cfg.CplBytes), func(_, end sim.Time) {
 			i.k.At(end, func() {
 				cmd.CompleteAt = end
+				cmd.Span.Advance(telemetry.StageWire, end)
 				i.Stats.Completed++
 				i.Stats.LastComplete = end
-				i.complTimes = append(i.complTimes, end)
-				i.complBytes = append(i.complBytes, cmd.Req.Bytes)
-				i.lat.Record(cmd.Req.Op, end-cmd.QueuedAt)
 				switch cmd.Req.Op {
 				case trace.OpWrite:
 					i.Stats.BytesWritten += uint64(cmd.Req.Bytes)
 				case trace.OpRead:
 					i.Stats.BytesRead += uint64(cmd.Req.Bytes)
+				}
+				if cmd.Record && cmd.winGen == i.winGen {
+					i.complTimes = append(i.complTimes, end)
+					i.complBytes = append(i.complBytes, cmd.Req.Bytes)
+					i.lat.Record(cmd.Req.Op, end-cmd.QueuedAt)
+					i.stageRec.Observe(&cmd.Span)
+					i.mLastComplete = end
+					if cmd.Req.Op == trace.OpWrite || cmd.Req.Op == trace.OpRead {
+						i.mBytes += uint64(cmd.Req.Bytes)
+					}
 				}
 				i.outstanding--
 				i.window.Release()
@@ -307,6 +372,7 @@ func (i *Interface) Complete(cmd *Command) {
 	}
 	if cmd.Req.Op == trace.OpRead && cmd.Req.Bytes > 0 {
 		i.tx.Acquire(i.cfg.wireTime(cmd.Req.Bytes), func(_, end sim.Time) {
+			cmd.Span.Advance(telemetry.StageWire, end)
 			i.k.At(end, finish)
 		})
 		return
@@ -322,14 +388,46 @@ func (i *Interface) maybeDrained() {
 	}
 }
 
-// ThroughputMBps reports completed payload bytes over the active interval.
+// ThroughputMBps reports completed payload bytes over the active interval
+// of the measured window (the whole run when no phase flags a window).
 func (i *Interface) ThroughputMBps() float64 {
-	dur := i.Stats.LastComplete - i.Stats.FirstSubmit
+	dur := i.mLastComplete - i.mFirstSubmit
 	if dur <= 0 {
 		return 0
 	}
-	return float64(i.Stats.BytesWritten+i.Stats.BytesRead) / dur.Seconds() / 1e6
+	return float64(i.mBytes) / dur.Seconds() / 1e6
 }
+
+// ResetMeasurement starts a fresh measured window: latency distributions,
+// the stage breakdown and the throughput log all restart from zero.
+// Commands still in flight from earlier phases belong to an older window
+// generation, so their completions never leak into the new window. The raw
+// Stats counters and the saturation detector keep covering the whole run.
+func (i *Interface) ResetMeasurement() {
+	i.winGen++
+	i.lat = workload.Collector{}
+	i.stageRec.Reset()
+	i.complTimes = i.complTimes[:0]
+	i.complBytes = i.complBytes[:0]
+	i.mFirstSubmit, i.mLastComplete = 0, 0
+	i.mBytes = 0
+	i.mHasSubmit = false
+}
+
+// StageBreakdown summarises the per-stage latency attribution of the
+// measured window's commands.
+func (i *Interface) StageBreakdown() telemetry.Breakdown { return i.stageRec.Breakdown() }
+
+// Saturation reports the open-loop saturation verdict: whether the arrival
+// backlog grew without bound, and the fitted growth rate (seconds of lag
+// per second of simulated time; 0 for closed-loop runs).
+func (i *Interface) Saturation() (saturated bool, growth float64) {
+	return i.backlog.Saturated(), i.backlog.Growth()
+}
+
+// WindowWait returns the total time commands spent waiting for a command
+// window slot (whole run) — a cross-check for the queued-stage attribution.
+func (i *Interface) WindowWait() sim.Time { return i.window.WaitTime }
 
 // Latency exposes the per-op-class latency collector (queued-to-completion
 // command latency, read vs write vs all).

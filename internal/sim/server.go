@@ -119,10 +119,20 @@ type TokenGate struct {
 	k       *Kernel
 	cap     int
 	held    int
-	waiters []func()
+	waiters []gateWaiter
 
 	Acquired uint64
 	WaitPeak int
+	// WaitTime accumulates the total time waiters spent queued before their
+	// token grant — the raw material for queueing-stage attribution (e.g.
+	// the host command window's share of command latency).
+	WaitTime Time
+}
+
+// gateWaiter is one queued acquirer with its enqueue time.
+type gateWaiter struct {
+	since Time
+	fn    func()
 }
 
 // NewTokenGate builds a gate admitting capacity concurrent holders.
@@ -149,7 +159,7 @@ func (g *TokenGate) AcquireWhenFree(fn func()) {
 		g.k.Schedule(0, fn)
 		return
 	}
-	g.waiters = append(g.waiters, fn)
+	g.waiters = append(g.waiters, gateWaiter{since: g.k.Now(), fn: fn})
 	if len(g.waiters) > g.WaitPeak {
 		g.WaitPeak = len(g.waiters)
 	}
@@ -161,12 +171,13 @@ func (g *TokenGate) Release() {
 		panic("sim: TokenGate release without acquire")
 	}
 	if len(g.waiters) > 0 {
-		fn := g.waiters[0]
+		w := g.waiters[0]
 		copy(g.waiters, g.waiters[1:])
-		g.waiters[len(g.waiters)-1] = nil
+		g.waiters[len(g.waiters)-1] = gateWaiter{}
 		g.waiters = g.waiters[:len(g.waiters)-1]
 		g.Acquired++
-		g.k.Schedule(0, fn)
+		g.WaitTime += g.k.Now() - w.since
+		g.k.Schedule(0, w.fn)
 		return
 	}
 	g.held--

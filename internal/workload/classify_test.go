@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var goldenTraces = []string{"seqwrite.trace", "randwrite.trace", "mixed.trace"}
+
+// TestClassifierParityOnGoldenTraces: the incremental classifier that rides
+// a streaming replay must reach the identical lifetime classification as
+// the one-shot ScanTrace pre-scan it replaced, on every committed golden
+// trace — same request/write counts, same WAF sequentiality verdict, same
+// read extent.
+func TestClassifierParityOnGoldenTraces(t *testing.T) {
+	for _, name := range goldenTraces {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name)
+			want, err := ScanTrace(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Requests == 0 {
+				t.Fatal("empty golden trace")
+			}
+			r, err := OpenReplay(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			for {
+				if _, ok := r.Next(); !ok {
+					break
+				}
+			}
+			if err := r.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Classification().Info(); got != want {
+				t.Errorf("replay classification %+v != pre-scan %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestClassifierWindowedEstimate: the trailing-window estimate tracks
+// regime changes a lifetime counter cannot — after a long sequential prefix
+// turns random, the window flips while the lifetime majority still says
+// sequential.
+func TestClassifierWindowedEstimate(t *testing.T) {
+	c := NewClassifier(128)
+	w := func(lba int64) trace.Request {
+		return trace.Request{Op: trace.OpWrite, LBA: lba, Bytes: 4096}
+	}
+	// 1000 sequential writes.
+	for i := int64(0); i < 1000; i++ {
+		c.Observe(w(i * 8))
+	}
+	if c.RandomWrites() {
+		t.Fatal("sequential prefix classified random")
+	}
+	if !c.Confident() {
+		t.Fatal("full window not confident")
+	}
+	// 200 random writes: window (128) is now fully random...
+	for i := int64(0); i < 200; i++ {
+		c.Observe(w(((i*2654435761 + 17) % 4096) * 8))
+	}
+	if !c.RandomWrites() {
+		t.Error("windowed estimate missed the random regime")
+	}
+	// ...while the lifetime rule still sees a sequential majority.
+	if c.Info().RandomWrites {
+		t.Error("lifetime classification flipped on a 1/6 random tail")
+	}
+}
+
+// TestClassifierReset: Reset returns to the initial state.
+func TestClassifierReset(t *testing.T) {
+	c := NewClassifier(16)
+	c.Observe(trace.Request{Op: trace.OpWrite, LBA: 800, Bytes: 4096})
+	c.Observe(trace.Request{Op: trace.OpRead, LBA: 100, Bytes: 4096})
+	c.Reset()
+	if got := c.Info(); got != (TraceInfo{}) {
+		t.Errorf("after reset: %+v", got)
+	}
+	if c.RandomWrites() || c.Confident() {
+		t.Error("reset classifier still opinionated")
+	}
+}
+
+// TestScanStreamMatchesClassifier: ScanStream is implemented on the
+// classifier; pin the equivalence with a synthetic stream that mixes every
+// op class.
+func TestScanStreamMatchesClassifier(t *testing.T) {
+	reqs := []trace.Request{
+		{Op: trace.OpWrite, LBA: 0, Bytes: 4096},
+		{Op: trace.OpWrite, LBA: 8, Bytes: 4096},
+		{Op: trace.OpWrite, LBA: 512, Bytes: 4096},
+		{Op: trace.OpRead, LBA: 1024, Bytes: 8192},
+		{Op: trace.OpTrim, LBA: 0, Bytes: 4096},
+		{Op: trace.OpFlush},
+	}
+	info := ScanStream(trace.NewSliceStream(reqs))
+	if info.Requests != 6 || info.Writes != 3 {
+		t.Errorf("counts: %+v", info)
+	}
+	if info.RandomWrites {
+		t.Errorf("1/3 breaks classified random: %+v", info)
+	}
+	if want := (1024 + 16) * trace.SectorSize; info.ReadSpanBytes != int64(want) {
+		t.Errorf("read span %d, want %d", info.ReadSpanBytes, want)
+	}
+	c := NewClassifier(0)
+	for _, r := range reqs {
+		c.Observe(r)
+	}
+	if c.Info() != info {
+		t.Errorf("classifier %+v != scan %+v", c.Info(), info)
+	}
+}

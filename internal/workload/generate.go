@@ -22,6 +22,8 @@ func (s Spec) Generator() (Generator, error) {
 	}
 	if len(s.Phases) > 0 {
 		gens := make([]Generator, len(s.Phases))
+		recs := make([]bool, len(s.Phases))
+		anyRec := false
 		for i, ph := range s.Phases {
 			g, err := ph.Generator()
 			if err != nil {
@@ -31,8 +33,16 @@ func (s Spec) Generator() (Generator, error) {
 				return nil, fmt.Errorf("phase %d: %w", i, err)
 			}
 			gens[i] = g
+			recs[i] = ph.Record
+			anyRec = anyRec || ph.Record
 		}
-		return &phased{gens: gens}, nil
+		if !anyRec {
+			// No phase flagged: the whole scenario is the measured window.
+			for i := range recs {
+				recs[i] = true
+			}
+		}
+		return &phased{gens: gens, recs: recs, curRec: true}, nil
 	}
 	if s.TracePath != "" {
 		return OpenReplay(s.TracePath)
@@ -268,6 +278,8 @@ type Clocked interface {
 // simulation clock at the boundary, when one was wired via SetClock.
 type phased struct {
 	gens     []Generator
+	recs     []bool // per-phase record flag (all true when none was set)
+	curRec   bool   // record flag of the phase of the last returned request
 	idx      int
 	baseUS   float64        // accumulated arrival offset from completed phases
 	phaseMax float64        // max raw arrival seen in the current phase
@@ -277,11 +289,16 @@ type phased struct {
 // SetClock implements Clocked.
 func (p *phased) SetClock(now func() float64) { p.nowUS = now }
 
+// Recording implements RecordAware: whether the last request returned by
+// Next belongs to a measured phase.
+func (p *phased) Recording() bool { return p.curRec }
+
 // Next implements Generator.
 func (p *phased) Next() (trace.Request, bool) {
 	for p.idx < len(p.gens) {
 		req, ok := p.gens[p.idx].Next()
 		if ok {
+			p.curRec = p.recs[p.idx]
 			if req.ArrivalUS > p.phaseMax {
 				p.phaseMax = req.ArrivalUS
 			}
@@ -316,6 +333,7 @@ func (p *phased) Reset() {
 		g.Reset()
 	}
 	p.idx = 0
+	p.curRec = true
 	p.baseUS = 0
 	p.phaseMax = 0
 }
@@ -347,10 +365,13 @@ func (p *phased) Err() error {
 
 // Replay streams a trace file through the Generator interface — file replay
 // is just another workload. Parse errors stop the stream and are reported
-// by Err (the platform checks after draining).
+// by Err (the platform checks after draining). A windowed Classifier rides
+// the stream, so the platform can adapt the WAF abstraction and read
+// preloading while the file plays — no pre-scan pass required.
 type Replay struct {
 	f   *os.File
 	r   *trace.Reader
+	cls *Classifier
 	err error
 }
 
@@ -360,8 +381,12 @@ func OpenReplay(path string) (*Replay, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
-	return &Replay{f: f, r: trace.ParseReader(f)}, nil
+	return &Replay{f: f, r: trace.ParseReader(f), cls: NewClassifier(0)}, nil
 }
+
+// Classification implements Classifying: the live windowed classification
+// of the portion of the trace streamed so far.
+func (r *Replay) Classification() *Classifier { return r.cls }
 
 // Next implements Generator.
 func (r *Replay) Next() (trace.Request, bool) {
@@ -371,7 +396,9 @@ func (r *Replay) Next() (trace.Request, bool) {
 	req, ok := r.r.Next()
 	if !ok {
 		r.err = r.r.Err()
+		return req, ok
 	}
+	r.cls.Observe(req)
 	return req, ok
 }
 
@@ -382,6 +409,7 @@ func (r *Replay) Reset() {
 		return
 	}
 	r.err = nil
+	r.cls.Reset()
 	r.r = trace.ParseReader(r.f)
 }
 
@@ -403,33 +431,19 @@ type TraceInfo struct {
 // ScanStream drains a request source and classifies it: write-address
 // randomness (the WAF sequentiality rule: >50% of writes breaking
 // consecutive order) and the extent a non-mapper platform must preload for
-// its reads. Shared by the file pre-scan and materialised trace replay.
+// its reads. It is the one-shot form of the incremental Classifier (and is
+// implemented on it, so the two can never disagree); streaming replay
+// classifies during the run instead and needs no separate scan.
 func ScanStream(src interface{ Next() (trace.Request, bool) }) TraceInfo {
-	var info TraceInfo
-	expected := int64(-1)
-	randWrites := 0
+	c := NewClassifier(0)
 	for {
 		req, ok := src.Next()
 		if !ok {
 			break
 		}
-		info.Requests++
-		info.TotalBytes += req.Bytes
-		switch req.Op {
-		case trace.OpWrite:
-			info.Writes++
-			if expected >= 0 && req.LBA != expected {
-				randWrites++
-			}
-			expected = req.EndLBA()
-		case trace.OpRead:
-			if end := req.EndLBA() * trace.SectorSize; end > info.ReadSpanBytes {
-				info.ReadSpanBytes = end
-			}
-		}
+		c.Observe(req)
 	}
-	info.RandomWrites = info.Writes > 0 && float64(randWrites) > 0.5*float64(info.Writes)
-	return info
+	return c.Info()
 }
 
 // ScanTrace streams through a trace file once (constant memory) and

@@ -246,9 +246,26 @@ type Spec struct {
 	// (ReadSpanBytes == 0).
 	ReplayNoReads bool `json:"replay_no_reads,omitempty"`
 
+	// Record marks a phase as part of the measured window. When any phase of
+	// a phased spec sets Record, statistics (latency, stage breakdown,
+	// throughput) cover only the flagged phases, and the collectors reset
+	// each time the stream crosses from an unrecorded into a recorded phase
+	// — so `precondition -> measure` reports the measure window only. When
+	// no phase sets Record (and on non-phased specs) the whole run is
+	// recorded, preserving the legacy behaviour.
+	Record bool `json:"record,omitempty"`
+
 	// Phases, when non-empty, concatenates sub-workloads in order. Open-loop
 	// arrival clocks continue across phase boundaries. Phases must not nest.
 	Phases []Spec `json:"phases,omitempty"`
+}
+
+// RecordAware generators expose whether the most recently generated request
+// belongs to a recorded (measured) phase. The host interface's trace player
+// checks for it after every pull; generators without phase structure simply
+// do not implement it and the whole stream is recorded.
+type RecordAware interface {
+	Recording() bool
 }
 
 // DefaultBlockSize is the 4 KB payload used throughout the paper.
@@ -360,16 +377,16 @@ func (s Spec) RandomWrites() bool {
 	return s.HasWrites() && s.randomAddr()
 }
 
-// UnboundedReplay reports whether the spec (or any phase) replays a trace
-// without declaring the SpanBytes a non-mapper platform must preload for
-// the trace's reads.
-func (s Spec) UnboundedReplay() bool {
+// HasReplay reports whether the spec (or any phase) replays a trace file —
+// the shape whose reads preload lazily and whose WAF model adapts to the
+// stream's windowed classification.
+func (s Spec) HasReplay() bool {
 	for _, ph := range s.Phases {
-		if ph.UnboundedReplay() {
+		if ph.HasReplay() {
 			return true
 		}
 	}
-	return s.TracePath != "" && !s.ReplayNoReads && s.SpanBytes <= 0
+	return s.TracePath != ""
 }
 
 // TotalRequests returns the request count, summed over phases; -1 when the
@@ -459,6 +476,9 @@ func (s Spec) Describe() string {
 	if s.Arrival.Open() {
 		b += " " + s.Arrival.String()
 	}
+	if s.Record {
+		b += " [rec]"
+	}
 	return b
 }
 
@@ -471,9 +491,9 @@ func (s Spec) Canonical() string {
 }
 
 func (s Spec) canon(b *strings.Builder, depth int) {
-	fmt.Fprintf(b, "%*sspec: %v %d %d %d %d %v frac=%g skew=%s arrival=%s trace=%q seqreplay=%v noreads=%v\n",
+	fmt.Fprintf(b, "%*sspec: %v %d %d %d %d %v frac=%g skew=%s arrival=%s trace=%q seqreplay=%v noreads=%v record=%v\n",
 		depth*2, "", s.Pattern, s.BlockSize, s.SpanBytes, s.Requests, s.Seed,
-		s.AlignLBA, s.WriteFrac, s.Skew, s.Arrival, s.TracePath, s.ReplaySeqWrites, s.ReplayNoReads)
+		s.AlignLBA, s.WriteFrac, s.Skew, s.Arrival, s.TracePath, s.ReplaySeqWrites, s.ReplayNoReads, s.Record)
 	if s.TracePath != "" {
 		// The path alone would serve stale cache hits after the file is
 		// rewritten; fold in its size and mtime (or the stat error) so a

@@ -522,19 +522,19 @@ func TestScanTrace(t *testing.T) {
 	}
 }
 
-func TestUnboundedReplayDetection(t *testing.T) {
-	if (Spec{TracePath: "x"}).UnboundedReplay() != true {
-		t.Fatal("bare replay without span not flagged")
+func TestHasReplayDetection(t *testing.T) {
+	if !(Spec{TracePath: "x"}).HasReplay() {
+		t.Fatal("bare replay not flagged")
 	}
-	if (Spec{TracePath: "x", SpanBytes: 1 << 20}).UnboundedReplay() {
-		t.Fatal("bounded replay flagged")
+	if (Spec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 1}).HasReplay() {
+		t.Fatal("synthetic spec flagged as replay")
 	}
 	phased := Spec{Phases: []Spec{
 		{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 1},
 		{TracePath: "x"},
 	}}
-	if !phased.UnboundedReplay() {
-		t.Fatal("replay phase without span not flagged")
+	if !phased.HasReplay() {
+		t.Fatal("replay phase not flagged")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -48,6 +49,19 @@ type Arrival = workload.Arrival
 
 // LatencyStats is one op class's latency summary (µs) in a Result.
 type LatencyStats = workload.LatStats
+
+// StageBreakdown attributes command latency to pipeline stages (queued,
+// wire, CPU, DRAM, chan, NAND, ECC) in a Result — the paper's breakdown
+// philosophy applied to the latency path. Stage means sum to the
+// end-to-end mean.
+type StageBreakdown = telemetry.Breakdown
+
+// Stage identifies one pipeline stage of a StageBreakdown.
+type Stage = telemetry.Stage
+
+// Stages lists every pipeline stage in order (for iterating a
+// StageBreakdown via ByStage).
+func Stages() []Stage { return telemetry.Stages() }
 
 // Result is the outcome of one simulated run.
 type Result = core.Result
@@ -127,6 +141,17 @@ func ParseSkew(s string) (Skew, error) { return workload.ParseSkew(s) }
 // ParseArrival decodes "closed", "poisson:<iops>" or
 // "onoff:<iops>:<on_ms>:<off_ms>".
 func ParseArrival(s string) (Arrival, error) { return workload.ParseArrival(s) }
+
+// ParsePhases decodes a multi-phase scenario like
+// "4000xSW;8000xRR,skew=zipf:0.9,record" — semicolon-separated phases of
+// <requests>x<pattern> with block/span/mix/skew/arrival/seed/record
+// options. base supplies block size, span and seed defaults. Phases marked
+// record form the measured window; unmarked phases (e.g. preconditioning)
+// are excluded from every reported statistic.
+func ParsePhases(s string, base Workload) (Workload, error) { return workload.ParsePhases(s, base) }
+
+// FormatPhases renders a phased workload back into the ParsePhases syntax.
+func FormatPhases(w Workload) string { return workload.FormatPhases(w) }
 
 // NewGenerator compiles a workload into its pull-based request stream, for
 // callers that drive the host interface (or a trace file) directly.
@@ -250,4 +275,4 @@ func Explore(ctx context.Context, s Space, workers int) ([]Eval, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.2.0"
+const Version = "1.3.0"
