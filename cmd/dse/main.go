@@ -1,12 +1,15 @@
 // Command dse reproduces the paper's optimal-design-point exploration:
 // Fig. 3 (SATA II host) and Fig. 4 (PCIe Gen2 x8 + NVMe host) over the ten
-// Table II configurations, printing all five breakdown columns.
+// Table II configurations, printing all five breakdown columns. Beyond the
+// paper's SW-only sweep, -workload adds mixed and zipfian column sets so
+// the figure conclusions can be compared across workload shapes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	ssdx "repro"
 )
@@ -14,6 +17,7 @@ import (
 func main() {
 	host := flag.String("host", "sata2", "host interface: sata2 (Fig. 3) or pcie-g2x8 (Fig. 4)")
 	scale := flag.Float64("scale", 1, "workload scale in (0,1]")
+	shapes := flag.String("workload", "sw", "comma-separated workload shapes to sweep: sw, mixed, zipf")
 	list := flag.Bool("list", false, "print the Table II configurations and exit")
 	flag.Parse()
 	if *list {
@@ -23,10 +27,29 @@ func main() {
 		}
 		return
 	}
-	rows, err := ssdx.DesignSpaceExploration(*host, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dse:", err)
-		os.Exit(1)
+	first := true
+	for _, shape := range strings.Split(*shapes, ",") {
+		shape = strings.TrimSpace(shape)
+		if shape == "" {
+			continue
+		}
+		_, label, err := ssdx.ShapeWorkload(shape)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := ssdx.DesignSpaceExplorationShape(*host, *scale, shape)
+		if err != nil {
+			fatal(err)
+		}
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		ssdx.WriteDSEShapeTable(os.Stdout, *host, label, rows)
 	}
-	ssdx.WriteDSETable(os.Stdout, *host, rows)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dse:", err)
+	os.Exit(1)
 }

@@ -43,10 +43,14 @@ func main() {
 		mixes    = flag.String("mix", "", "comma-separated write fractions for mixed read/write traffic (empty = pattern direction)")
 		skews    = flag.String("skew", "", "comma-separated address skews (uniform, zipf:<theta>, hotspot:<frac>:<prob>)")
 		arrivals = flag.String("arrival", "", "comma-separated arrival processes (closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>)")
+		tenants  = flag.String("tenants", "", "multi-tenant scenario swept instead of the single-workload axes, e.g. 'victim@high:2000xRR | noisy*4:8000xSW'")
+		arbs     = flag.String("arb", "", "comma-separated arbitration policies to sweep with -tenants (rr, wrr, prio; empty = rr)")
 		span     = flag.Int64("span", 1<<28, "addressable span in bytes")
 		requests = flag.Int("requests", 2000, "requests per point")
 		preset   = flag.String("preset", "default", "base configuration preset for unswept axes")
-		objSpec  = flag.String("objectives", "mbps,latency,waf", "Pareto objectives (mbps, ramp, latency, p99, p999, readp99, writep99, waf, erases, wearout, gc, events, backlog, and per-stage tails: queuedp99, wirep99, cpup99, dramp99, chanp99, nandp99, eccp99)")
+		objSpec  = flag.String("objectives", "mbps,latency,waf", "Pareto objectives (mbps, ramp, latency, p99, p999, readp99, writep99, waf, erases, wearout, gc, events, backlog, fairness, maxslowdown, worstp99, and per-stage tails: queuedp99, wirep99, cpup99, dramp99, chanp99, nandp99, eccp99)")
+		prune    = flag.Bool("prune", false, "early-abort open-loop points whose arrival backlog diverges during a warm-up probe (reported as saturated, full run skipped)")
+		warmup   = flag.Int("warmup", 0, "warm-up probe request quota for -prune (0 = default)")
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel workers")
 		sample   = flag.Int("sample", 0, "evaluate only N seeded-random points of the space (0 = all)")
 		seed     = flag.Uint64("seed", 1, "sampling seed")
@@ -119,6 +123,27 @@ func main() {
 		}
 		space.Arrivals = append(space.Arrivals, ar)
 	}
+	if *tenants != "" {
+		// A tenant mix replaces the single-workload axes: each queue
+		// carries its own workload, and -arb sweeps the arbitration policy
+		// across the same mix.
+		set, err := ssdx.ParseTenants(*tenants, ssdx.Workload{SpanBytes: *span, Seed: 1})
+		if err != nil {
+			fatal(err)
+		}
+		space.TenantMixes = [][]ssdx.Tenant{set.Tenants}
+		space.Patterns, space.BlockSizes = nil, nil
+		space.WriteFracs, space.Skews, space.Arrivals = nil, nil, nil
+		for _, a := range words(*arbs) {
+			p, err := ssdx.ParseQoSPolicy(a)
+			if err != nil {
+				fatal(err)
+			}
+			space.Policies = append(space.Policies, p)
+		}
+	} else if *arbs != "" {
+		fatal(fmt.Errorf("-arb requires -tenants"))
+	}
 
 	objs, err := ssdx.ParseObjectives(*objSpec)
 	if err != nil {
@@ -139,12 +164,15 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "# cache: %d entries loaded from %s\n", cache.Len(), *cacheF)
 	}
-	runner := &ssdx.Runner{Workers: *workers, Cache: cache}
+	runner := &ssdx.Runner{Workers: *workers, Cache: cache, PruneSaturated: *prune, WarmupRequests: *warmup}
 	if !*quiet {
 		runner.OnProgress = func(done, total int, ev ssdx.Eval) {
 			mark := " "
 			if ev.Cached {
 				mark = "~"
+			}
+			if ev.Pruned {
+				mark = "s" // saturated during the warm-up probe; full run skipped
 			}
 			if ev.Failed() {
 				mark = "!"
@@ -220,8 +248,19 @@ func printTable(evals []ssdx.Eval, objs []ssdx.Objective, frontOnly bool) {
 		}
 		return i < j
 	})
-	fmt.Printf("%-6s %-5s %-44s %10s %12s %10s %8s %8s\n",
+	tenanted := false
+	for _, ev := range evals {
+		if len(ev.Point.Tenants) > 0 {
+			tenanted = true
+			break
+		}
+	}
+	fmt.Printf("%-6s %-5s %-44s %10s %12s %10s %8s %8s",
 		"point", "rank", "design", "MB/s", "mean-lat-us", "p99-us", "WAF", "cached")
+	if tenanted {
+		fmt.Printf(" %8s", "fairness")
+	}
+	fmt.Println()
 	for _, i := range order {
 		ev, r := evals[i], ranks[i]
 		if frontOnly && r != 0 {
@@ -231,14 +270,21 @@ func printTable(evals []ssdx.Eval, objs []ssdx.Objective, frontOnly bool) {
 		if r == 0 {
 			label += "*"
 		}
+		if ev.Pruned {
+			label += "s"
+		}
 		if ev.Failed() {
 			fmt.Printf("%-6s %-5s %-44s failed: %s\n", label, "-", ev.Point.Describe(), ev.Err)
 			continue
 		}
-		fmt.Printf("%-6s %-5d %-44s %10.1f %12.1f %10.1f %8.2f %8v\n",
+		fmt.Printf("%-6s %-5d %-44s %10.1f %12.1f %10.1f %8.2f %8v",
 			label, r, ev.Point.Describe(),
 			ev.Result.MBps, ev.Result.AllLat.MeanUS, ev.Result.AllLat.P99US,
 			ev.Result.WAF, ev.Cached)
+		if tenanted {
+			fmt.Printf(" %8.3f", ev.Result.Fairness)
+		}
+		fmt.Println()
 	}
 }
 

@@ -8,6 +8,7 @@
 //	ssdexplorer -preset t2:C6 -mode ddr+flash
 //	ssdexplorer -pattern RR -mix 0.3 -skew zipf:0.99 -arrival poisson:30000
 //	ssdexplorer -pattern RW -precondition 4000 -requests 8000
+//	ssdexplorer -tenants 'victim@high:6000xRR | noisy*4:20000xSW' -arb prio
 //	ssdexplorer -config my.cfg -trace workload.trace
 //	ssdexplorer -preset vertex -dumpconfig
 //	ssdexplorer -features
@@ -35,6 +36,8 @@ func main() {
 		arrival    = flag.String("arrival", "", "arrival process: closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>")
 		precond    = flag.Int("precondition", 0, "sequential-write requests issued as an unmeasured phase before the measured workload")
 		phasesSpec = flag.String("phases", "", "multi-phase scenario, e.g. '4000xSW;8000xRR,skew=zipf:0.9,record' (overrides -pattern/-requests; record flags the measured window)")
+		tenantSpec = flag.String("tenants", "", "multi-tenant scenario, e.g. 'victim@high:6000xRR | noisy*4:20000xSW,arrival=poisson:50000' (each tenant is <name>[@class][*weight][#depth]:<phases>)")
+		arbPolicy  = flag.String("arb", "rr", "arbitration policy between tenant queues: rr, wrr, prio")
 		mode       = flag.String("mode", "ssd", "measurement mode: ssd, host-ideal, host+ddr, ddr+flash")
 		tracePath  = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
 		dump       = flag.Bool("dumpconfig", false, "print the resolved configuration and exit")
@@ -66,6 +69,22 @@ func main() {
 
 	var res ssdx.Result
 	switch {
+	case *tenantSpec != "":
+		if *phasesSpec != "" || *tracePath != "" || *mix != 0 || *skew != "" || *arrival != "" || *precond > 0 {
+			fatal(fmt.Errorf("-tenants cannot be combined with -phases/-trace/-mix/-skew/-arrival/-precondition; set those per tenant in the spec"))
+		}
+		base := ssdx.Workload{BlockSize: *block, SpanBytes: *span, Seed: *seed}
+		set, err := ssdx.ParseTenants(*tenantSpec, base)
+		if err != nil {
+			fatal(err)
+		}
+		if set.Policy, err = ssdx.ParseQoSPolicy(*arbPolicy); err != nil {
+			fatal(err)
+		}
+		res, err = ssdx.RunTenants(cfg, set, m)
+		if err != nil {
+			fatal(err)
+		}
 	case *tracePath != "":
 		// Single-pass streaming replay: no pre-scan. The platform preloads
 		// read targets lazily on first touch and adapts the WAF abstraction
@@ -130,6 +149,15 @@ func main() {
 	}
 	printLat("read", res.ReadLat)
 	printLat("write", res.WriteLat)
+	if len(res.Tenants) > 0 {
+		fmt.Printf("  fairness %.3f (jain, weight-normalised MB/s)\n", res.Fairness)
+		for _, tr := range res.Tenants {
+			fmt.Printf("  tenant %-10s %-6s w%-2d %8.1f MB/s  mean %8.1f  p50 %8.1f  p99 %8.1f  slowdown %5.2fx  queued %8.1f  (%d ops)\n",
+				tr.Name, tr.Class, tr.Weight, tr.MBps,
+				tr.AllLat.MeanUS, tr.AllLat.P50US, tr.AllLat.P99US,
+				tr.Slowdown, tr.Stages.Queued.MeanUS, tr.AllLat.Ops)
+		}
+	}
 	if res.Saturated {
 		fmt.Printf("  SATURATED: arrival backlog growing at %.2f s/s — offered load exceeds device capacity; latency figures describe the run length, not the device\n",
 			res.BacklogGrowth)

@@ -4,10 +4,15 @@
 // processes — for replay via `ssdexplorer -trace`. The generator streams
 // straight to disk, so arbitrarily long traces never materialise in memory.
 //
+// With -in it instead converts an existing trace file — canonical,
+// blktrace/blkparse text, or MSR Cambridge CSV, auto-detected — into the
+// canonical format, streaming record by record.
+//
 // Examples:
 //
 //	tracegen -pattern RW -requests 100000
 //	tracegen -pattern RR -mix 0.3 -skew zipf:0.99 -arrival poisson:50000
+//	tracegen -in volume0.csv -o volume0.trace
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	ssdx "repro"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -29,9 +35,14 @@ func main() {
 		mix      = flag.Float64("mix", 0, "write fraction for mixed traffic (0 = pattern direction)")
 		skew     = flag.String("skew", "", "address skew: uniform, zipf:<theta>, hotspot:<frac>:<prob>")
 		arrival  = flag.String("arrival", "", "arrival process: closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>")
+		in       = flag.String("in", "", "convert this trace file (canonical, blktrace text or MSR CSV, auto-detected) instead of generating")
 		out      = flag.String("o", "workload.trace", "output path")
 	)
 	flag.Parse()
+	if *in != "" {
+		convert(*in, *out)
+		return
+	}
 	p, err := trace.ParsePattern(*pattern)
 	if err != nil {
 		fatal(err)
@@ -63,6 +74,29 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d requests (%s, %d MB) to %s\n", n, w.Describe(), w.TotalBytes()>>20, *out)
+}
+
+// convert streams a trace in any supported dialect into the canonical
+// format, record by record.
+func convert(in, out string) {
+	r, err := workload.OpenReplay(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := trace.WriteReader(f, r)
+	if err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("converted %d requests (%s format) from %s to %s\n", n, r.Format(), in, out)
 }
 
 func fatal(err error) {

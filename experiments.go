@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/config"
@@ -91,15 +92,52 @@ func expRunner() *dse.Runner {
 // points, measured in all five breakdown columns. The ten configurations
 // times five columns run as one parallel sweep on the dse engine.
 func DesignSpaceExploration(host string, scale float64) ([]DSERow, error) {
-	cfgs := config.TableII()
-	w := workload.Spec{
-		Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 30, Seed: 7,
+	return DesignSpaceExplorationShape(host, scale, "sw")
+}
+
+// ShapeWorkload resolves a figure-harness workload shape: beyond the
+// paper's SW-only sweep, "mixed" and "zipf" re-run the same hardware space
+// under a mixed random 50/50 workload and a zipfian read-mostly one, so the
+// Fig. 3/4 conclusions can be compared across workload shapes (EagleTree's
+// lesson: scheduling and workload shape shift design conclusions).
+func ShapeWorkload(shape string) (workload.Spec, string, error) {
+	base := workload.Spec{BlockSize: 4096, SpanBytes: 1 << 30, Seed: 7}
+	switch strings.ToLower(strings.TrimSpace(shape)) {
+	case "sw", "":
+		base.Pattern = trace.SeqWrite
+		return base, "sequential write 4KB", nil
+	case "mixed":
+		base.Pattern = trace.RandWrite
+		base.WriteFrac = 0.5
+		return base, "mixed random 50/50 4KB", nil
+	case "zipf":
+		base.Pattern = trace.RandRead
+		base.WriteFrac = 0.3
+		base.Skew = workload.Skew{Kind: workload.SkewZipf, Theta: 0.9}
+		return base, "zipfian 70/30 read-heavy 4KB", nil
 	}
-	// Five points per configuration, in column order. Wire-bound columns
-	// converge fast; flash-bound columns need steady state past the
-	// write-cache fill; no-cache runs are latency-bound (queue-depth wall)
-	// and need fewer requests still.
-	const cols = 5
+	return workload.Spec{}, "", fmt.Errorf("ssdx: unknown workload shape %q (have sw, mixed, zipf)", shape)
+}
+
+// DesignSpaceExplorationShape runs the Fig. 3/4 sweep under the given
+// workload shape. The DDR+FLASH drain column exists only for the plain
+// sequential-write shape (the drain mode measures closed-loop synthetic
+// patterns); other shapes report it as NaN and the table renders a dash.
+func DesignSpaceExplorationShape(host string, scale float64, shape string) ([]DSERow, error) {
+	w, _, err := ShapeWorkload(shape)
+	if err != nil {
+		return nil, err
+	}
+	drain := w.Simple()
+	cfgs := config.TableII()
+	// Columns per configuration, in order. Wire-bound columns converge
+	// fast; flash-bound columns need steady state past the write-cache
+	// fill; no-cache runs are latency-bound (queue-depth wall) and need
+	// fewer requests still.
+	cols := 4
+	if drain {
+		cols = 5
+	}
 	var pts []dse.Point
 	for _, cfg := range cfgs {
 		cfg.HostIF = host
@@ -114,27 +152,36 @@ func DesignSpaceExploration(host string, scale float64) ([]DSERow, error) {
 		pts = append(pts,
 			mk(cfg, short, core.ModeHostIdeal),
 			mk(cfg, short, core.ModeHostDDR),
-			mk(cfg, long, core.ModeDDRFlash),
+		)
+		if drain {
+			pts = append(pts, mk(cfg, long, core.ModeDDRFlash))
+		}
+		pts = append(pts,
 			mk(cfg, long, core.ModeFull),
 			mk(ncfg, ncReqs, core.ModeFull),
 		)
 	}
 	evals, err := expRunner().Run(context.Background(), pts)
 	if err != nil {
-		return nil, fmt.Errorf("dse sweep (host=%s): %w", host, err)
+		return nil, fmt.Errorf("dse sweep (host=%s, shape=%s): %w", host, shape, err)
 	}
 	rows := make([]DSERow, len(cfgs))
 	for i, cfg := range cfgs {
 		col := evals[i*cols : (i+1)*cols]
 		rows[i] = DSERow{
-			Name:       cfg.Name,
-			Topology:   cfg.Describe(),
-			HostIdeal:  col[0].Result.MBps,
-			HostDDR:    col[1].Result.MBps,
-			DDRFlash:   col[2].Result.MBps,
-			SSDCache:   col[3].Result.MBps,
-			SSDNoCache: col[4].Result.MBps,
+			Name:      cfg.Name,
+			Topology:  cfg.Describe(),
+			HostIdeal: col[0].Result.MBps,
+			HostDDR:   col[1].Result.MBps,
+			DDRFlash:  math.NaN(),
 		}
+		rest := col[2:]
+		if drain {
+			rows[i].DDRFlash = col[2].Result.MBps
+			rest = col[3:]
+		}
+		rows[i].SSDCache = rest[0].Result.MBps
+		rows[i].SSDNoCache = rest[1].Result.MBps
 	}
 	return rows, nil
 }
@@ -263,14 +310,28 @@ func WriteFig2Table(w io.Writer, rows []Fig2Row) {
 	}
 }
 
-// WriteDSETable renders a Fig. 3 / Fig. 4 table.
+// WriteDSETable renders a Fig. 3 / Fig. 4 table (the paper's SW shape).
 func WriteDSETable(w io.Writer, host string, rows []DSERow) {
-	fmt.Fprintf(w, "# sequential write 4KB, host=%s (MB/s)\n", host)
+	WriteDSEShapeTable(w, host, "sequential write 4KB", rows)
+}
+
+// WriteDSEShapeTable renders a Fig. 3 / Fig. 4 style table under an
+// arbitrary workload label. NaN columns (e.g. the drain column of non-SW
+// shapes) render as a dash.
+func WriteDSEShapeTable(w io.Writer, host, label string, rows []DSERow) {
+	fmt.Fprintf(w, "# %s, host=%s (MB/s)\n", label, host)
 	fmt.Fprintf(w, "%-5s %-30s %10s %10s %12s %11s %10s\n",
 		"cfg", "topology", "DDR+FLASH", "SSD cache", "SSD no-cache", "HOST ideal", "HOST+DDR")
+	cell := func(width int, v float64) string {
+		if math.IsNaN(v) {
+			return fmt.Sprintf("%*s", width, "-")
+		}
+		return fmt.Sprintf("%*.1f", width, v)
+	}
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-5s %-30s %10.1f %10.1f %12.1f %11.1f %10.1f\n",
-			r.Name, r.Topology, r.DDRFlash, r.SSDCache, r.SSDNoCache, r.HostIdeal, r.HostDDR)
+		fmt.Fprintf(w, "%-5s %-30s %s %s %s %s %s\n",
+			r.Name, r.Topology, cell(10, r.DDRFlash), cell(10, r.SSDCache),
+			cell(12, r.SSDNoCache), cell(11, r.HostIdeal), cell(10, r.HostDDR))
 	}
 }
 

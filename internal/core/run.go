@@ -63,6 +63,13 @@ type Result struct {
 	Saturated     bool
 	BacklogGrowth float64
 
+	// Multi-queue (tenant) runs only: the per-tenant breakdowns and Jain's
+	// fairness index over weight-normalised tenant throughput (1 = every
+	// tenant got exactly its share; toward 1/n as one tenant starves the
+	// rest). Empty / zero on single-stream runs.
+	Tenants  []TenantResult `json:"tenants,omitempty"`
+	Fairness float64        `json:"fairness,omitempty"`
+
 	// Microarchitectural observability (the paper's FGDSE purpose).
 	WAF           float64
 	HostQueuePeak int

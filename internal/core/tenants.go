@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/hostif"
+	"repro/internal/nvme"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TenantResult is one tenant's share of a multi-queue run: its own latency
+// distributions, stage attribution and throughput, plus the isolation
+// figures (slowdown against the best-served tenant) that the QoS sweeps
+// rank on.
+type TenantResult struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	Class  string `json:"class"`
+
+	MBps         float64 `json:"mbps"`
+	Completed    uint64  `json:"completed"`
+	InflightPeak int     `json:"inflight_peak"`
+
+	ReadLat  workload.LatStats `json:"read_lat"`
+	WriteLat workload.LatStats `json:"write_lat"`
+	AllLat   workload.LatStats `json:"all_lat"`
+
+	// Stages attributes the tenant's command latency to pipeline stages —
+	// the queued stage is where arbitration shows up, so per-tenant queued
+	// time is the direct readout of how the policy treated the tenant.
+	Stages telemetry.Breakdown `json:"stages"`
+
+	// Slowdown is the tenant's mean latency divided by the best-served
+	// tenant's mean latency (>= 1; 1 for the best-served tenant itself).
+	Slowdown float64 `json:"slowdown"`
+}
+
+// JainFairness returns Jain's fairness index over the given shares:
+// (Σx)² / (n·Σx²), 1 when all shares are equal, approaching 1/n when one
+// share dominates. Zero shares are kept (a starved tenant is unfairness,
+// not a missing sample); an empty or all-zero input returns 0.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// RunTenants executes a multi-tenant scenario: every tenant streams its own
+// workload through a private submission queue into its namespace partition,
+// and the set's arbitration policy shares the device between them. The
+// result carries the drive-level figures plus per-tenant breakdowns,
+// slowdown and Jain's fairness index over weight-normalised throughput.
+// The platform is single-use, exactly as with Run.
+func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
+	if err := set.Validate(); err != nil {
+		return Result{}, err
+	}
+	if mode == ModeDDRFlash {
+		return Result{}, errors.New("core: ddr+flash drain mode cannot run multi-queue scenarios")
+	}
+	if err := p.resolveWAF(set.RandomWrites()); err != nil {
+		return Result{}, err
+	}
+	if set.MayRead() && p.mapper == nil {
+		if err := p.preloadReadRegion(set.ReadSpan()); err != nil {
+			return Result{}, err
+		}
+	}
+	q, err := set.Compile()
+	if err != nil {
+		return Result{}, err
+	}
+	defer q.Close()
+	q.SetClock(func() float64 { return p.K.Now().Microseconds() })
+
+	wallStart := time.Now()
+	drained := false
+	handler := func(cmd *hostif.Command) { p.handleCommand(cmd, mode) }
+	if err := p.Host.RunMulti(q, handler, func() { drained = true }); err != nil {
+		return Result{}, err
+	}
+	p.K.RunAll()
+	if serr := q.Err(); serr != nil {
+		return Result{}, fmt.Errorf("core: tenant stream: %w", serr)
+	}
+	if !drained {
+		return Result{}, fmt.Errorf("%w (%d completed, %d outstanding)",
+			errStalled, p.Host.Stats.Completed, p.Host.Outstanding())
+	}
+
+	res := Result{
+		Config:     p.Cfg.Name,
+		Topology:   p.Cfg.Describe(),
+		Mode:       mode,
+		Workload:   set.Describe(),
+		MBps:       p.Host.TailThroughputMBps(0.5),
+		RampMBps:   p.Host.ThroughputMBps(),
+		BytesMoved: int64(p.Host.Stats.BytesRead + p.Host.Stats.BytesWritten),
+		Completed:  p.Host.Stats.Completed,
+	}
+	if n := set.TotalRequests(); n >= 0 {
+		res.Requests = n
+	} else {
+		res.Requests = int(res.Completed)
+	}
+	res.HostQueuePeak = p.Host.Stats.QueuePeak
+	res.ReadLat = p.Host.Latency().Read()
+	res.WriteLat = p.Host.Latency().Write()
+	res.AllLat = p.Host.Latency().All()
+	res.Stages = p.Host.StageBreakdown()
+	res.Saturated, res.BacklogGrowth = p.Host.Saturation()
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	if res.WallSeconds > 0 {
+		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.K.Now())) / 1000 / res.WallSeconds
+	}
+	res.Events = p.K.Executed
+	res.SimTime = p.K.Now()
+	res.WAF = p.wafModel.WAF
+	if p.mapper != nil && p.mapper.m.Stats.UserWrites > 0 {
+		res.WAF = p.mapper.m.MeasuredWAF()
+	}
+	res.BusUtil = p.Bus.Utilization(p.K.Now())
+	res.CPUUtil = p.CPU.Utilization(p.K.Now())
+	res.UserPages = p.stats.userPages
+	res.GCCopies = p.stats.gcCopies
+	res.Erases = p.stats.eraseOps
+	res.FlashWrites = p.stats.flashWrites
+	res.FlashReads = p.stats.flashReads
+
+	res.Tenants = p.tenantResults(set)
+	res.Fairness = fairnessOf(res.Tenants)
+	return res, nil
+}
+
+// tenantResults reads back every queue's measured window from the host
+// interface and computes the relative slowdowns.
+func (p *Platform) tenantResults(set nvme.TenantSet) []TenantResult {
+	out := make([]TenantResult, len(set.Tenants))
+	minMean := 0.0
+	for i, t := range set.Tenants {
+		tr := TenantResult{
+			Name:         t.Name,
+			Weight:       t.NormWeight(),
+			Class:        t.Class.String(),
+			MBps:         p.Host.QueueThroughputMBps(i),
+			Completed:    p.Host.QueueCompleted(i),
+			InflightPeak: p.Host.QueueInflightPeak(i),
+			ReadLat:      p.Host.QueueLatency(i).Read(),
+			WriteLat:     p.Host.QueueLatency(i).Write(),
+			AllLat:       p.Host.QueueLatency(i).All(),
+			Stages:       p.Host.QueueStageBreakdown(i),
+		}
+		if tr.AllLat.Ops > 0 && (minMean == 0 || tr.AllLat.MeanUS < minMean) {
+			minMean = tr.AllLat.MeanUS
+		}
+		out[i] = tr
+	}
+	for i := range out {
+		if out[i].AllLat.Ops > 0 && minMean > 0 {
+			out[i].Slowdown = out[i].AllLat.MeanUS / minMean
+		}
+	}
+	return out
+}
+
+// fairnessOf computes Jain's index over weight-normalised tenant
+// throughput: a policy is perfectly fair when every tenant's MB/s per unit
+// of weight is equal.
+func fairnessOf(tenants []TenantResult) float64 {
+	xs := make([]float64, len(tenants))
+	for i, t := range tenants {
+		xs[i] = t.MBps / float64(t.Weight)
+	}
+	return JainFairness(xs)
+}
+
+// RunTenantWorkload is the one-shot convenience: build a platform from cfg
+// and run the tenant scenario in the given mode.
+func RunTenantWorkload(cfg config.Platform, set nvme.TenantSet, mode Mode) (Result, error) {
+	p, err := Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.RunTenants(set, mode)
+}

@@ -10,13 +10,13 @@ import (
 	"repro/internal/telemetry"
 )
 
-// csvHeader lists the flattened sweep columns: the swept inputs first, then
-// the measured outputs. Stage columns (p50/p99 per pipeline stage, in
+// buildCSVHeader lists the flattened sweep columns: the swept inputs first,
+// then the measured outputs. Stage columns (p50/p99 per pipeline stage, in
 // telemetry.Stages order) are appended programmatically so the header can
-// never drift from the stage set.
-var csvHeader = buildCSVHeader()
-
-func buildCSVHeader() []string {
+// never drift from the stage set; per-tenant blocks are sized to the widest
+// tenant roster in the export, so every swept point carries per-tenant
+// p50/p99 and the fairness column.
+func buildCSVHeader(maxTenants int) []string {
 	h := []string{
 		"index", "name", "channels", "ways", "dies_per_way", "ddr_buffers",
 		"host_if", "nand_profile", "ecc_scheme", "ftl_mode", "cache_policy",
@@ -31,15 +31,32 @@ func buildCSVHeader() []string {
 	h = append(h,
 		"saturated", "backlog_growth", "waf",
 		"erases", "gc_copies", "flash_writes", "flash_reads", "events",
-		"sim_ns", "cached", "err",
+		"sim_ns", "cached", "pruned", "err",
 	)
+	if maxTenants > 0 {
+		h = append(h, "policy", "fairness")
+		for i := 0; i < maxTenants; i++ {
+			p := fmt.Sprintf("t%d_", i)
+			h = append(h, p+"name", p+"class", p+"weight", p+"mbps",
+				p+"mean_us", p+"p50_us", p+"p99_us", p+"slowdown")
+		}
+	}
 	return h
 }
 
 // WriteCSV renders evaluations as one flat CSV table, one row per point.
+// Sweeps that include multi-tenant points gain policy, fairness and
+// per-tenant latency columns (one block per tenant slot, blank where a row
+// has fewer tenants).
 func WriteCSV(w io.Writer, evals []Eval) error {
+	maxTenants := 0
+	for _, ev := range evals {
+		if n := len(ev.Point.Tenants); n > maxTenants {
+			maxTenants = n
+		}
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	if err := cw.Write(buildCSVHeader(maxTenants)); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -57,18 +74,28 @@ func WriteCSV(w io.Writer, evals []Eval) error {
 			c.ECCScheme,
 			c.FTLMode,
 			c.CachePolicy,
-			ev.Point.Workload.Pattern.String(),
-			strconv.FormatInt(ev.Point.Workload.BlockSize, 10),
-			strconv.Itoa(ev.Point.Workload.Requests),
-			f(ev.Point.Workload.WriteFrac),
-			ev.Point.Workload.Skew.String(),
-			ev.Point.Workload.Arrival.String(),
+		}
+		if len(ev.Point.Tenants) > 0 {
+			// Tenant points ignore the single-stream workload: blank its
+			// columns so the defaults cannot masquerade as the run's
+			// inputs (the per-tenant truth lives in the t<i>_* block).
+			row = append(row, "", "", "", "", "", "")
+		} else {
+			row = append(row,
+				ev.Point.Workload.Pattern.String(),
+				strconv.FormatInt(ev.Point.Workload.BlockSize, 10),
+				strconv.Itoa(ev.Point.Workload.Requests),
+				f(ev.Point.Workload.WriteFrac),
+				ev.Point.Workload.Skew.String(),
+				ev.Point.Workload.Arrival.String())
+		}
+		row = append(row,
 			ev.Point.Mode.String(),
 			f(r.MBps), f(r.RampMBps),
 			f(r.AllLat.MeanUS), f(r.AllLat.P50US), f(r.AllLat.P99US), f(r.AllLat.P999US),
 			strconv.FormatUint(r.ReadLat.Ops, 10), f(r.ReadLat.P99US),
 			strconv.FormatUint(r.WriteLat.Ops, 10), f(r.WriteLat.P99US),
-		}
+		)
 		for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
 			s := r.Stages.ByStage(st)
 			row = append(row, f(s.P50US), f(s.P99US))
@@ -82,8 +109,21 @@ func WriteCSV(w io.Writer, evals []Eval) error {
 			strconv.FormatUint(r.Events, 10),
 			strconv.FormatInt(int64(r.SimTime), 10),
 			strconv.FormatBool(ev.Cached),
+			strconv.FormatBool(ev.Pruned),
 			ev.Err,
 		)
+		if maxTenants > 0 {
+			row = append(row, ev.Point.Policy.String(), f(r.Fairness))
+			for i := 0; i < maxTenants; i++ {
+				if i >= len(r.Tenants) {
+					row = append(row, "", "", "", "", "", "", "", "")
+					continue
+				}
+				t := r.Tenants[i]
+				row = append(row, t.Name, t.Class, strconv.Itoa(t.Weight), f(t.MBps),
+					f(t.AllLat.MeanUS), f(t.AllLat.P50US), f(t.AllLat.P99US), f(t.Slowdown))
+			}
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}

@@ -51,6 +51,34 @@ var objectives = map[string]Objective{
 	// Backlog growth rate: sweeps that mix open-loop arrival rates can
 	// optimise for designs that stay out of saturation.
 	"backlog": {Name: "backlog", Maximize: false, Value: func(r core.Result) float64 { return r.BacklogGrowth }},
+	// Multi-tenant QoS objectives (tenant sweeps only; zero/neutral on
+	// single-stream results). fairness maximises Jain's index over
+	// weight-normalised tenant throughput; maxslowdown minimises the worst
+	// tenant's slowdown against the best-served one; worstp99 minimises the
+	// worst per-tenant p99 — the tail-isolation lens, which a drive-level
+	// p99 hides when a small victim tenant drowns in a big aggressor's ops.
+	"fairness": {Name: "fairness", Maximize: true, Value: func(r core.Result) float64 { return r.Fairness }},
+	"maxslowdown": {Name: "maxslowdown", Maximize: false, Value: func(r core.Result) float64 {
+		var worst float64
+		for _, t := range r.Tenants {
+			if t.Slowdown > worst {
+				worst = t.Slowdown
+			}
+		}
+		return worst
+	}},
+	"worstp99": {Name: "worstp99", Maximize: false, Value: func(r core.Result) float64 {
+		if len(r.Tenants) == 0 {
+			return r.AllLat.P99US
+		}
+		var worst float64
+		for _, t := range r.Tenants {
+			if t.AllLat.P99US > worst {
+				worst = t.AllLat.P99US
+			}
+		}
+		return worst
+	}},
 }
 
 // Per-stage latency objectives ("<stage>p99", e.g. nandp99): minimise one

@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/nvme"
+	"repro/internal/workload"
 )
 
 // Eval is the outcome of evaluating one Point. Results are deterministic
@@ -16,7 +18,11 @@ type Eval struct {
 	Point  Point       `json:"point"`
 	Result core.Result `json:"result"`
 	Cached bool        `json:"cached"`
-	Err    string      `json:"err,omitempty"`
+	// Pruned marks an open-loop point whose warm-up probe already diverged:
+	// the Result covers only the probe run (saturation verdict, growth
+	// rate), not the full request count — the full simulation was skipped.
+	Pruned bool   `json:"pruned,omitempty"`
+	Err    string `json:"err,omitempty"`
 }
 
 // Failed reports whether the evaluation errored.
@@ -49,7 +55,25 @@ type Runner struct {
 	// the running completion count. Calls are serialised but arrive in
 	// completion order, not index order.
 	OnProgress func(done, total int, ev Eval)
+
+	// PruneSaturated early-aborts open-loop points whose arrival backlog is
+	// already diverging after a warm-up quota: the point runs with its
+	// request counts capped at WarmupRequests, and if the fitted backlog
+	// growth flags saturation the full simulation is skipped — the verdict
+	// is clear after a few hundred arrivals, and the full run would only
+	// report latencies that describe the run length. Pruned evaluations
+	// carry the probe's Result with Pruned set and are never cached (the
+	// probe is not the point).
+	PruneSaturated bool
+
+	// WarmupRequests is the probe quota (default 512 per stream).
+	WarmupRequests int
 }
+
+// DefaultWarmupRequests is the pruning probe's per-stream request quota:
+// comfortably past the saturation detector's minimum sample count, small
+// against any real sweep's request budget.
+const DefaultWarmupRequests = 512
 
 // Run evaluates every point and returns the evaluations in input order —
 // the same slice a sequential loop would produce, whatever the pool size.
@@ -69,6 +93,9 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 	evaluate := r.Evaluate
 	if evaluate == nil {
 		evaluate = func(pt Point) (core.Result, error) {
+			if len(pt.Tenants) > 0 {
+				return core.RunTenantWorkload(pt.Config, pt.TenantSet(), pt.Mode)
+			}
 			return core.RunWorkload(pt.Config, pt.Workload, pt.Mode)
 		}
 	}
@@ -93,7 +120,18 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 					ev.Cached = true
 				}
 			}
-			if !ev.Cached {
+			if !ev.Cached && r.PruneSaturated {
+				if probe, ok := r.pruneProbe(pts[i]); ok {
+					if res, err := evaluate(probe); err == nil && res.Saturated {
+						// Divergence is already established: report the
+						// probe's verdict and skip the full simulation.
+						// Never cached — the probe is not the point.
+						ev.Result = res
+						ev.Pruned = true
+					}
+				}
+			}
+			if !ev.Cached && !ev.Pruned {
 				res, err := evaluate(pts[i])
 				if err != nil {
 					ev.Err = err.Error()
@@ -158,6 +196,46 @@ feed:
 		return evals, fmt.Errorf("dse: %d of %d evaluations failed (first: %s)", failed, len(pts), first)
 	}
 	return evals, nil
+}
+
+// pruneProbe derives the warm-up probe for a point: the same design with
+// every stream's request count capped at the warm-up quota. Only open-loop
+// synthetic points qualify — saturation is an open-loop phenomenon, phased
+// and replay workloads have no single request knob to cap, and a point
+// already inside the quota gains nothing from probing.
+func (r *Runner) pruneProbe(pt Point) (Point, bool) {
+	quota := r.WarmupRequests
+	if quota <= 0 {
+		quota = DefaultWarmupRequests
+	}
+	plain := func(w workload.Spec) bool { return len(w.Phases) == 0 && w.TracePath == "" }
+	if len(pt.Tenants) > 0 {
+		ts := make([]nvme.Tenant, len(pt.Tenants))
+		copy(ts, pt.Tenants)
+		anyOpen, anyReduced := false, false
+		for i := range ts {
+			if !plain(ts[i].Workload) {
+				return Point{}, false
+			}
+			anyOpen = anyOpen || ts[i].Workload.Arrival.Open()
+			if ts[i].Workload.Requests > quota {
+				ts[i].Workload.Requests = quota
+				anyReduced = true
+			}
+		}
+		if !anyOpen || !anyReduced {
+			return Point{}, false
+		}
+		pt.Tenants = ts
+		return pt, true
+	}
+	w := pt.Workload
+	if !plain(w) || !w.Arrival.Open() || w.Requests <= quota {
+		return Point{}, false
+	}
+	w.Requests = quota
+	pt.Workload = w
+	return pt, true
 }
 
 // RunSpace enumerates the space and evaluates every point.

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/nvme"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -51,6 +52,16 @@ type Space struct {
 	WriteFracs []float64          // write fraction of a mixed workload
 	Skews      []workload.Skew    // uniform / zipf / hotspot addressing
 	Arrivals   []workload.Arrival // closed / poisson / onoff arrivals
+
+	// Multi-tenant axes. A non-empty TenantMixes axis switches the swept
+	// points to the NVMe-style multi-queue front end: each mix is a full
+	// tenant roster (per-queue workloads, weights, classes), evaluated via
+	// core.RunTenantWorkload instead of the single-stream path, and the
+	// Policies axis sweeps the arbitration mechanism across mixes. The
+	// single-workload axes (Patterns, BlockSizes, ...) are ignored for
+	// tenant points — each tenant already carries its own workload.
+	TenantMixes [][]nvme.Tenant
+	Policies    []nvme.Policy
 
 	// Workload shape shared by every point.
 	SpanBytes int64 // default 1 GiB
@@ -108,6 +119,8 @@ func (s Space) axes() []axis {
 	add("mix", len(s.WriteFracs), func(pt *Point, i int) { pt.Workload.WriteFrac = s.WriteFracs[i] })
 	add("skew", len(s.Skews), func(pt *Point, i int) { pt.Workload.Skew = s.Skews[i] })
 	add("arrival", len(s.Arrivals), func(pt *Point, i int) { pt.Workload.Arrival = s.Arrivals[i] })
+	add("tenants", len(s.TenantMixes), func(pt *Point, i int) { pt.Tenants = s.TenantMixes[i] })
+	add("policy", len(s.Policies), func(pt *Point, i int) { pt.Policy = s.Policies[i] })
 	add("mode", len(s.Modes), func(pt *Point, i int) { pt.Mode = s.Modes[i] })
 	return out
 }
@@ -154,6 +167,12 @@ func (s Space) At(idx int64) (Point, error) {
 	pt.Config.Name = fmt.Sprintf("p%04d", idx)
 	if err := pt.Config.Validate(); err != nil {
 		return pt, fmt.Errorf("dse: point %d: %w", idx, err)
+	}
+	if len(pt.Tenants) > 0 {
+		if err := pt.TenantSet().Validate(); err != nil {
+			return pt, fmt.Errorf("dse: point %d: %w", idx, err)
+		}
+		return pt, nil
 	}
 	if err := pt.Workload.Validate(); err != nil {
 		return pt, fmt.Errorf("dse: point %d: %w", idx, err)
@@ -233,12 +252,21 @@ func (r *splitMix) int63n(n int64) int64 {
 }
 
 // Point is one evaluable design point: a platform configuration, the
-// workload to run on it, and the measurement mode.
+// workload to run on it, and the measurement mode. When Tenants is set the
+// point is a multi-queue scenario (Workload is ignored): the tenants run
+// through the NVMe-style front end under the Policy's arbitration.
 type Point struct {
 	Index    int64           `json:"index"`
 	Config   config.Platform `json:"config"`
 	Workload workload.Spec   `json:"workload"`
+	Tenants  []nvme.Tenant   `json:"tenants,omitempty"`
+	Policy   nvme.Policy     `json:"policy,omitempty"`
 	Mode     core.Mode       `json:"mode"`
+}
+
+// TenantSet assembles the point's multi-queue scenario.
+func (pt Point) TenantSet() nvme.TenantSet {
+	return nvme.TenantSet{Tenants: pt.Tenants, Policy: pt.Policy}
 }
 
 // Key returns the content hash of the point — a digest of the complete
@@ -253,7 +281,11 @@ func (pt Point) Key() string {
 		// Render only fails on writer errors; strings.Builder has none.
 		panic(fmt.Sprintf("dse: render: %v", err))
 	}
-	b.WriteString(pt.Workload.Canonical())
+	if len(pt.Tenants) > 0 {
+		b.WriteString(pt.TenantSet().Canonical())
+	} else {
+		b.WriteString(pt.Workload.Canonical())
+	}
 	fmt.Fprintf(&b, "mode: %d\n", int(pt.Mode))
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
@@ -261,8 +293,12 @@ func (pt Point) Key() string {
 
 // Describe renders a compact human label for tables.
 func (pt Point) Describe() string {
+	wl := pt.Workload.Describe()
+	if len(pt.Tenants) > 0 {
+		wl = pt.TenantSet().Describe()
+	}
 	return fmt.Sprintf("%d-ch/%d-way/%d-die/%d-buf %s %s %s",
 		pt.Config.Channels, pt.Config.Ways, pt.Config.DiesPerWay,
 		pt.Config.DDRBuffers, pt.Config.HostIF, pt.Config.ECCScheme,
-		pt.Workload.Describe())
+		wl)
 }

@@ -1,0 +1,280 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/nvme"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testMix(seed uint64) []nvme.Tenant {
+	base := workload.Spec{BlockSize: 4096, SpanBytes: 1 << 24, Seed: seed}
+	victim := base
+	victim.Pattern = trace.RandRead
+	victim.Requests = 50
+	noisy := base
+	noisy.Pattern = trace.SeqWrite
+	noisy.Requests = 100
+	return []nvme.Tenant{
+		{Name: "victim", Class: nvme.ClassHigh, Workload: victim},
+		{Name: "noisy", Weight: 4, Workload: noisy},
+	}
+}
+
+// TestTenantAxes checks the tenant-mix and policy axes enumerate as a
+// Cartesian product and survive the point codec.
+func TestTenantAxes(t *testing.T) {
+	s := Space{
+		TenantMixes: [][]nvme.Tenant{testMix(1), testMix(2)},
+		Policies:    []nvme.Policy{nvme.PolicyRR, nvme.PolicyWRR, nvme.PolicyPrio},
+	}
+	if got := s.Size(); got != 6 {
+		t.Fatalf("Size = %d, want 6", got)
+	}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Policy varies fastest (later-declared axis).
+	if pts[0].Policy != nvme.PolicyRR || pts[1].Policy != nvme.PolicyWRR || pts[2].Policy != nvme.PolicyPrio {
+		t.Errorf("policy order wrong: %v %v %v", pts[0].Policy, pts[1].Policy, pts[2].Policy)
+	}
+	if pts[0].Tenants[0].Workload.Seed != 1 || pts[3].Tenants[0].Workload.Seed != 2 {
+		t.Errorf("tenant mix axis not applied")
+	}
+	// Keys must distinguish policies over the same mix and collapse
+	// identical scenarios.
+	if pts[0].Key() == pts[1].Key() {
+		t.Error("different policies share a cache key")
+	}
+	if pts[0].Key() == pts[3].Key() {
+		t.Error("different tenant mixes share a cache key")
+	}
+	pt0b, err := s.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Key() != pt0b.Key() {
+		t.Error("re-decoding the same index changed the key")
+	}
+}
+
+// TestTenantCSVColumns checks the per-tenant export block: policy,
+// fairness, and per-tenant p50/p99 columns for every swept point.
+func TestTenantCSVColumns(t *testing.T) {
+	s := Space{TenantMixes: [][]nvme.Tenant{testMix(1)}, Policies: []nvme.Policy{nvme.PolicyPrio}}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := []Eval{{
+		Point: pts[0],
+		Result: core.Result{
+			Fairness: 0.75,
+			Tenants: []core.TenantResult{
+				{Name: "victim", Class: "high", Weight: 1, MBps: 12.5,
+					AllLat: workload.LatStats{Ops: 50, MeanUS: 100, P50US: 90, P99US: 400}, Slowdown: 1},
+				{Name: "noisy", Class: "medium", Weight: 4, MBps: 80,
+					AllLat: workload.LatStats{Ops: 100, MeanUS: 300, P50US: 280, P99US: 900}, Slowdown: 3},
+			},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, evals); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := func(name string) int {
+		for i, h := range rows[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	if got := rows[1][col("policy")]; got != "prio" {
+		t.Errorf("policy column = %q", got)
+	}
+	if got := rows[1][col("fairness")]; got != "0.75" {
+		t.Errorf("fairness column = %q", got)
+	}
+	if got := rows[1][col("t0_p99_us")]; got != "400" {
+		t.Errorf("t0_p99_us = %q", got)
+	}
+	if got := rows[1][col("t1_p50_us")]; got != "280" {
+		t.Errorf("t1_p50_us = %q", got)
+	}
+	if got := rows[1][col("t1_slowdown")]; got != "3" {
+		t.Errorf("t1_slowdown = %q", got)
+	}
+	// The single-stream workload columns are blank for tenant rows: the
+	// defaults never ran and must not masquerade as the sweep's inputs.
+	for _, name := range []string{"pattern", "block_bytes", "requests", "write_frac", "skew", "arrival"} {
+		if got := rows[1][col(name)]; got != "" {
+			t.Errorf("tenant row exports ignored workload column %s = %q, want blank", name, got)
+		}
+	}
+}
+
+// TestPruneSaturated checks the warm-up probe short-circuit: a saturated
+// open-loop point runs only at the warm-up quota, is reported as pruned,
+// and never enters the cache; an unsaturated probe falls through to the
+// full evaluation.
+func TestPruneSaturated(t *testing.T) {
+	open := workload.Spec{
+		Pattern: trace.RandRead, BlockSize: 4096, SpanBytes: 1 << 24,
+		Requests: 100000, Seed: 1,
+		Arrival: workload.Arrival{Kind: workload.ArrivalPoisson, RateIOPS: 1e6},
+	}
+	saturatedPt := Point{Config: mustDefaultConfig(t, "sat"), Workload: open, Mode: core.ModeFull}
+	calm := open
+	calm.Arrival.RateIOPS = 10
+	calmPt := Point{Config: mustDefaultConfig(t, "calm"), Workload: calm, Mode: core.ModeFull}
+
+	var mu sync.Mutex
+	var seen []int
+	r := &Runner{
+		Workers:        1,
+		Cache:          NewCache(),
+		PruneSaturated: true,
+		WarmupRequests: 256,
+		Evaluate: func(pt Point) (core.Result, error) {
+			mu.Lock()
+			seen = append(seen, pt.Workload.Requests)
+			mu.Unlock()
+			// The probe of the saturated point diverges; everything else is
+			// healthy.
+			res := core.Result{MBps: 100, Completed: uint64(pt.Workload.Requests)}
+			if pt.Config.Name == "sat" {
+				res.Saturated = true
+				res.BacklogGrowth = 3.5
+			}
+			return res, nil
+		},
+	}
+	evals, err := r.Run(context.Background(), []Point{saturatedPt, calmPt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evals[0].Pruned || !evals[0].Result.Saturated {
+		t.Errorf("saturated point not pruned: %+v", evals[0])
+	}
+	if evals[0].Result.Completed != 256 {
+		t.Errorf("pruned result covers %d requests, want the probe's 256", evals[0].Result.Completed)
+	}
+	if evals[1].Pruned {
+		t.Errorf("calm point wrongly pruned")
+	}
+	// Evaluation counts: probe(sat) for the first point, probe(calm) +
+	// full(calm) for the second.
+	wantSeen := []int{256, 256, 100000}
+	if len(seen) != len(wantSeen) {
+		t.Fatalf("evaluate called with %v, want %v", seen, wantSeen)
+	}
+	for i := range seen {
+		if seen[i] != wantSeen[i] {
+			t.Fatalf("evaluate called with %v, want %v", seen, wantSeen)
+		}
+	}
+	// The pruned probe must not be cached under the full point's key.
+	if _, ok := r.Cache.Get(saturatedPt.Key()); ok {
+		t.Error("pruned probe result entered the cache under the full key")
+	}
+	if _, ok := r.Cache.Get(calmPt.Key()); !ok {
+		t.Error("full evaluation missing from the cache")
+	}
+}
+
+// TestPruneProbeEligibility pins what qualifies for the warm-up probe.
+func TestPruneProbeEligibility(t *testing.T) {
+	r := &Runner{PruneSaturated: true, WarmupRequests: 100}
+	closed := workload.Spec{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 24, Requests: 5000, Seed: 1}
+	open := closed
+	open.Arrival = workload.Arrival{Kind: workload.ArrivalPoisson, RateIOPS: 1000}
+
+	if _, ok := r.pruneProbe(Point{Workload: closed}); ok {
+		t.Error("closed-loop point must not probe")
+	}
+	small := open
+	small.Requests = 50
+	if _, ok := r.pruneProbe(Point{Workload: small}); ok {
+		t.Error("point inside the quota must not probe")
+	}
+	probe, ok := r.pruneProbe(Point{Workload: open})
+	if !ok || probe.Workload.Requests != 100 {
+		t.Errorf("open-loop probe wrong: ok=%v %+v", ok, probe.Workload)
+	}
+	phased := workload.Spec{Phases: []workload.Spec{open}}
+	if _, ok := r.pruneProbe(Point{Workload: phased}); ok {
+		t.Error("phased point must not probe")
+	}
+	// Tenant points: one open tenant is enough; the probe caps every queue.
+	ts := []nvme.Tenant{
+		{Name: "a", Workload: open},
+		{Name: "b", Workload: closed},
+	}
+	probe, ok = r.pruneProbe(Point{Tenants: ts})
+	if !ok || probe.Tenants[0].Workload.Requests != 100 || probe.Tenants[1].Workload.Requests != 100 {
+		t.Errorf("tenant probe wrong: ok=%v %+v", ok, probe.Tenants)
+	}
+	// The original point must be untouched (probe is a copy).
+	if ts[0].Workload.Requests != 5000 {
+		t.Error("pruneProbe mutated the original tenants")
+	}
+}
+
+// TestTenantSweepEndToEnd runs a real two-policy tenant sweep through the
+// default evaluator and checks per-tenant results and fairness come back
+// for every point.
+func TestTenantSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real multi-queue simulation in -short mode")
+	}
+	s := Space{
+		TenantMixes: [][]nvme.Tenant{testMix(1)},
+		Policies:    []nvme.Policy{nvme.PolicyRR, nvme.PolicyPrio},
+	}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, err := (&Runner{Workers: 2}).Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evals {
+		if ev.Failed() {
+			t.Fatalf("point %d failed: %s", ev.Point.Index, ev.Err)
+		}
+		if len(ev.Result.Tenants) != 2 {
+			t.Fatalf("point %d: %d tenant results", ev.Point.Index, len(ev.Result.Tenants))
+		}
+		if ev.Result.Fairness <= 0 || ev.Result.Fairness > 1 {
+			t.Errorf("point %d: fairness %v", ev.Point.Index, ev.Result.Fairness)
+		}
+		for _, tr := range ev.Result.Tenants {
+			if tr.AllLat.Ops == 0 {
+				t.Errorf("point %d tenant %s measured nothing", ev.Point.Index, tr.Name)
+			}
+		}
+	}
+}
+
+func mustDefaultConfig(t *testing.T, name string) config.Platform {
+	t.Helper()
+	c := config.Default()
+	c.Name = name
+	return c
+}

@@ -133,6 +133,7 @@ func (c Config) IdealMBps(blockBytes int64, write bool) float64 {
 // Command is one in-flight host command.
 type Command struct {
 	ID         int64
+	Queue      int // submission-queue (tenant) index; -1 on the single-stream path
 	Req        trace.Request
 	Record     bool           // pulled inside the measured window
 	Span       telemetry.Span // per-stage latency timeline (watermark attribution)
@@ -173,6 +174,15 @@ type Interface struct {
 	outstanding int
 	exhausted   bool
 	started     bool
+
+	// Multi-queue player state (nil/empty on the single-stream path): the
+	// source behind the N submission queues, their per-queue states, and
+	// the armed-dispatcher flag that serialises window acquisition so the
+	// arbitration decision is taken at grant time.
+	mq            MultiSource
+	qs            []*queueState
+	dispatchArmed bool
+	readyBuf      []int
 
 	// Measured-window state. Commands pulled from record-flagged phases
 	// carry Record=true; all measurement (latency, stage breakdown,
@@ -290,7 +300,7 @@ func (i *Interface) pull() {
 			if i.outstanding > i.Stats.QueuePeak {
 				i.Stats.QueuePeak = i.outstanding
 			}
-			i.submit(req, queued, rec)
+			i.submit(req, queued, rec, -1, i.winGen)
 			// Keep the window full: pull the next request immediately.
 			i.pull()
 		})
@@ -303,9 +313,11 @@ func (i *Interface) pull() {
 }
 
 // submit models the command (and write-data) wire transfer, then hands the
-// command to the platform.
-func (i *Interface) submit(req trace.Request, queued sim.Time, record bool) {
-	cmd := &Command{ID: i.nextID, Req: req, QueuedAt: queued, Record: record, winGen: i.winGen}
+// command to the platform. queue is the submission-queue index (-1 on the
+// single-stream path) and winGen the measured-window generation of that
+// queue (or of the interface) at pull time.
+func (i *Interface) submit(req trace.Request, queued sim.Time, record bool, queue int, winGen uint32) {
+	cmd := &Command{ID: i.nextID, Queue: queue, Req: req, QueuedAt: queued, Record: record, winGen: winGen}
 	cmd.Span.Start(queued)
 	// The window slot is granted: everything since the queue time was
 	// host-side queueing (window admission plus arrival backlog).
@@ -318,8 +330,13 @@ func (i *Interface) submit(req trace.Request, queued sim.Time, record bool) {
 			if i.Stats.FirstSubmit == 0 && i.Stats.Completed == 0 {
 				i.Stats.FirstSubmit = end
 			}
-			if record && !i.mHasSubmit {
-				i.mFirstSubmit, i.mHasSubmit = end, true
+			if record && i.cmdInWindow(cmd) {
+				if !i.mHasSubmit {
+					i.mFirstSubmit, i.mHasSubmit = end, true
+				}
+				if queue >= 0 && !i.qs[queue].hasSubmit {
+					i.qs[queue].firstSubmit, i.qs[queue].hasSubmit = end, true
+				}
 			}
 			if req.Op == trace.OpWrite && req.Bytes > 0 {
 				i.rx.Acquire(i.cfg.wireTime(req.Bytes), func(_, dEnd sim.Time) {
@@ -354,17 +371,41 @@ func (i *Interface) Complete(cmd *Command) {
 				case trace.OpRead:
 					i.Stats.BytesRead += uint64(cmd.Req.Bytes)
 				}
-				if cmd.Record && cmd.winGen == i.winGen {
+				if cmd.Record && i.cmdInWindow(cmd) {
 					i.complTimes = append(i.complTimes, end)
 					i.complBytes = append(i.complBytes, cmd.Req.Bytes)
-					i.lat.Record(cmd.Req.Op, end-cmd.QueuedAt)
-					i.stageRec.Observe(&cmd.Span)
 					i.mLastComplete = end
 					if cmd.Req.Op == trace.OpWrite || cmd.Req.Op == trace.OpRead {
 						i.mBytes += uint64(cmd.Req.Bytes)
 					}
+					if cmd.Queue >= 0 {
+						// Multi-queue: distributions live per tenant; the
+						// drive-level view merges them on demand, so a
+						// tenant's window reset never smears another's.
+						qs := i.qs[cmd.Queue]
+						qs.lat.Record(cmd.Req.Op, end-cmd.QueuedAt)
+						qs.stageRec.Observe(&cmd.Span)
+						qs.lastComplete = end
+						if cmd.Req.Op == trace.OpWrite || cmd.Req.Op == trace.OpRead {
+							qs.bytes += uint64(cmd.Req.Bytes)
+						}
+					} else {
+						i.lat.Record(cmd.Req.Op, end-cmd.QueuedAt)
+						i.stageRec.Observe(&cmd.Span)
+					}
 				}
 				i.outstanding--
+				if cmd.Queue >= 0 {
+					qs := i.qs[cmd.Queue]
+					qs.outstanding--
+					qs.completed++
+					if qs.stalled && qs.ready()+qs.outstanding < qs.depth {
+						// The depth bound has slack again: resume the
+						// tenant's pull chain.
+						qs.stalled = false
+						i.pullQueue(cmd.Queue)
+					}
+				}
 				i.window.Release()
 				i.maybeDrained()
 			})
@@ -381,11 +422,21 @@ func (i *Interface) Complete(cmd *Command) {
 }
 
 func (i *Interface) maybeDrained() {
-	if i.exhausted && i.outstanding == 0 && i.onDrained != nil {
-		done := i.onDrained
-		i.onDrained = nil
-		i.k.Schedule(0, done)
+	if i.outstanding != 0 || i.onDrained == nil {
+		return
 	}
+	if i.mq != nil {
+		for _, qs := range i.qs {
+			if !qs.exhausted || qs.ready() > 0 {
+				return
+			}
+		}
+	} else if !i.exhausted {
+		return
+	}
+	done := i.onDrained
+	i.onDrained = nil
+	i.k.Schedule(0, done)
 }
 
 // ThroughputMBps reports completed payload bytes over the active interval
@@ -415,8 +466,18 @@ func (i *Interface) ResetMeasurement() {
 }
 
 // StageBreakdown summarises the per-stage latency attribution of the
-// measured window's commands.
-func (i *Interface) StageBreakdown() telemetry.Breakdown { return i.stageRec.Breakdown() }
+// measured window's commands. On the multi-queue path it merges the
+// per-tenant recorders into the drive-level breakdown.
+func (i *Interface) StageBreakdown() telemetry.Breakdown {
+	if i.mq != nil {
+		var r telemetry.Recorder
+		for _, qs := range i.qs {
+			r.Merge(&qs.stageRec)
+		}
+		return r.Breakdown()
+	}
+	return i.stageRec.Breakdown()
+}
 
 // Saturation reports the open-loop saturation verdict: whether the arrival
 // backlog grew without bound, and the fitted growth rate (seconds of lag
@@ -430,14 +491,23 @@ func (i *Interface) Saturation() (saturated bool, growth float64) {
 func (i *Interface) WindowWait() sim.Time { return i.window.WaitTime }
 
 // Latency exposes the per-op-class latency collector (queued-to-completion
-// command latency, read vs write vs all).
-func (i *Interface) Latency() *workload.Collector { return &i.lat }
+// command latency, read vs write vs all). On the multi-queue path the
+// drive-level collector is rebuilt by merging the per-tenant ones.
+func (i *Interface) Latency() *workload.Collector {
+	if i.mq != nil {
+		i.lat = workload.Collector{}
+		for _, qs := range i.qs {
+			i.lat.Merge(&qs.lat)
+		}
+	}
+	return &i.lat
+}
 
 // LatencyPercentiles returns the mean and the given percentiles (0-100) of
 // command latency across all op classes, from the fixed-memory histogram.
 func (i *Interface) LatencyPercentiles(ps ...float64) (mean sim.Time, out []sim.Time) {
 	out = make([]sim.Time, len(ps))
-	h := i.lat.AllHistogram()
+	h := i.Latency().AllHistogram()
 	if h.Count() == 0 {
 		return 0, out
 	}

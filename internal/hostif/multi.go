@@ -1,0 +1,296 @@
+package hostif
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// MultiSource supplies the multi-queue trace player: one request stream per
+// submission queue, per-queue outstanding-command bounds, and the
+// arbitration decision applied every time a command-window slot frees. The
+// nvme package's compiled tenant set is the canonical implementation; the
+// interface is structural so hostif carries no dependency on it.
+type MultiSource interface {
+	// NumQueues returns the number of submission queues (>= 1).
+	NumQueues() int
+	// QueueName labels queue q for diagnostics.
+	QueueName(q int) string
+	// QueueDepth bounds queue q's outstanding commands (submission-queue
+	// entries plus dispatched-but-incomplete). 0 defers to the host
+	// interface's command window depth.
+	QueueDepth(q int) int
+	// Next pulls queue q's next request (ok=false ends that queue's stream).
+	Next(q int) (req trace.Request, ok bool)
+	// Recording reports whether queue q's most recently pulled request
+	// belongs to a measured phase.
+	Recording(q int) bool
+	// Pick chooses which queue to service among those with a pending head
+	// command. ready holds queue indices in ascending order and is never
+	// empty; the return value must be one of them.
+	Pick(ready []int) int
+}
+
+// sqEntry is one command sitting in a submission queue: pulled from the
+// tenant's stream (so its latency clock is running) but not yet granted a
+// command-window slot.
+type sqEntry struct {
+	req    trace.Request
+	queued sim.Time
+	record bool
+	winGen uint32
+}
+
+// queueState is the per-submission-queue half of the multi-queue player:
+// the bounded SQ itself, ingress bookkeeping, and the tenant's private
+// measurement state (latency, stage breakdown, throughput anchors) that the
+// platform reads back per tenant after the run.
+type queueState struct {
+	name  string
+	depth int
+
+	sq        []sqEntry
+	head      int // index of the SQ head (pop is O(1); slice resets when drained)
+	exhausted bool
+	stalled   bool // ingress paused at the depth bound; completion resumes it
+
+	// Per-queue measured-window state (mirrors the single-stream fields on
+	// Interface; each tenant's phase structure resets independently).
+	recording bool
+	recInit   bool
+	winGen    uint32
+
+	outstanding  int // dispatched, not yet completed
+	inflightPeak int // peak SQ + outstanding
+
+	lat      workload.Collector
+	stageRec telemetry.Recorder
+
+	firstSubmit  sim.Time
+	lastComplete sim.Time
+	hasSubmit    bool
+	bytes        uint64
+	completed    uint64
+}
+
+// ready returns the number of commands waiting in the SQ.
+func (qs *queueState) ready() int { return len(qs.sq) - qs.head }
+
+// push appends one entry to the SQ.
+func (qs *queueState) push(e sqEntry) {
+	qs.sq = append(qs.sq, e)
+	if n := qs.ready() + qs.outstanding; n > qs.inflightPeak {
+		qs.inflightPeak = n
+	}
+}
+
+// pop removes and returns the SQ head.
+func (qs *queueState) pop() sqEntry {
+	e := qs.sq[qs.head]
+	qs.sq[qs.head] = sqEntry{}
+	qs.head++
+	if qs.head == len(qs.sq) {
+		qs.sq = qs.sq[:0]
+		qs.head = 0
+	}
+	return e
+}
+
+// RunMulti starts the multi-queue trace player: every queue's stream is
+// pulled through its bounded submission queue on its own arrival clock, and
+// whenever the shared command window has a free slot the source's
+// arbitration picks which queue's head enters the device. onDrained fires
+// when every stream is exhausted and every command has completed.
+//
+// The single-stream Run is the degenerate one-queue case kept on its own
+// (byte-identical) path; RunMulti is the NVMe-style front end the nvme
+// package compiles tenant scenarios onto.
+func (i *Interface) RunMulti(src MultiSource, handler func(*Command), onDrained func()) error {
+	if i.started {
+		return errors.New("hostif: already running")
+	}
+	if src == nil || handler == nil {
+		return errors.New("hostif: nil source or handler")
+	}
+	n := src.NumQueues()
+	if n < 1 {
+		return errors.New("hostif: multi-queue source has no queues")
+	}
+	i.started = true
+	i.mq = src
+	i.handler = handler
+	i.onDrained = onDrained
+	i.qs = make([]*queueState, n)
+	for q := 0; q < n; q++ {
+		depth := src.QueueDepth(q)
+		if depth <= 0 || depth > i.cfg.QueueDepth {
+			depth = i.cfg.QueueDepth
+		}
+		i.qs[q] = &queueState{name: src.QueueName(q), depth: depth, recording: true}
+	}
+	for q := 0; q < n; q++ {
+		i.pullQueue(q)
+	}
+	return nil
+}
+
+// pullQueue admits queue q's next request into its submission queue. The
+// pull chain pauses at the queue's depth bound and resumes on completion,
+// so a closed-loop tenant is paced by its own depth while open-loop tenants
+// accumulate past-due arrivals exactly like the single-stream player.
+func (i *Interface) pullQueue(q int) {
+	qs := i.qs[q]
+	if qs.exhausted {
+		return
+	}
+	req, ok := i.mq.Next(q)
+	if !ok {
+		qs.exhausted = true
+		i.maybeDrained()
+		return
+	}
+	rec := i.mq.Recording(q)
+	if rec && !qs.recording && qs.recInit {
+		i.resetQueueMeasurement(q)
+	}
+	qs.recording, qs.recInit = rec, true
+	at := sim.FromMicroseconds(req.ArrivalUS)
+	issue := func() {
+		queued := i.k.Now()
+		if at > 0 {
+			lag := sim.Time(0)
+			if at < queued {
+				queued = at
+				lag = i.k.Now() - at
+			}
+			i.backlog.Observe(at.Microseconds(), lag.Microseconds())
+		}
+		qs.push(sqEntry{req: req, queued: queued, record: rec, winGen: qs.winGen})
+		i.dispatch()
+		if qs.ready()+qs.outstanding < qs.depth {
+			// Continue the pull chain through the event queue so a deep
+			// closed-loop fill never recurses depth-of-queue stack frames.
+			i.k.Schedule(0, func() { i.pullQueue(q) })
+		} else {
+			qs.stalled = true
+		}
+	}
+	if at > i.k.Now() {
+		i.k.At(at, issue)
+	} else {
+		issue()
+	}
+}
+
+// dispatch arms the arbitrated dispatcher: one pending command-window
+// acquisition at a time, with the queue chosen at grant time — so the
+// arbitration always sees the submission queues as they are when the slot
+// actually frees, not as they were when it was requested.
+func (i *Interface) dispatch() {
+	if i.dispatchArmed || !i.anyReady() {
+		return
+	}
+	i.dispatchArmed = true
+	i.window.AcquireWhenFree(i.dispatchGrant)
+}
+
+// anyReady reports whether any submission queue has a pending head.
+func (i *Interface) anyReady() bool {
+	for _, qs := range i.qs {
+		if qs.ready() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchGrant holds a freshly-granted window slot: arbitrate, pop the
+// winning queue's head and submit it.
+func (i *Interface) dispatchGrant() {
+	i.dispatchArmed = false
+	i.readyBuf = i.readyBuf[:0]
+	for q, qs := range i.qs {
+		if qs.ready() > 0 {
+			i.readyBuf = append(i.readyBuf, q)
+		}
+	}
+	if len(i.readyBuf) == 0 {
+		// Only dispatch pops SQ entries, so a granted slot always finds the
+		// head that armed it; release defensively if a source misbehaves.
+		i.window.Release()
+		return
+	}
+	q := i.mq.Pick(i.readyBuf)
+	if q < 0 || q >= len(i.qs) || i.qs[q].ready() == 0 {
+		panic(fmt.Sprintf("hostif: arbiter picked invalid queue %d from %v", q, i.readyBuf))
+	}
+	qs := i.qs[q]
+	e := qs.pop()
+	qs.outstanding++
+	i.outstanding++
+	if i.outstanding > i.Stats.QueuePeak {
+		i.Stats.QueuePeak = i.outstanding
+	}
+	i.submit(e.req, e.queued, e.record, q, e.winGen)
+	i.dispatch()
+}
+
+// resetQueueMeasurement starts a fresh measured window for one queue (the
+// per-tenant analogue of ResetMeasurement): its latency distributions,
+// stage breakdown and throughput anchors restart, and commands still in
+// flight from the queue's earlier phases are fenced off by the generation
+// bump. Other tenants' windows are untouched.
+func (i *Interface) resetQueueMeasurement(q int) {
+	qs := i.qs[q]
+	qs.winGen++
+	qs.lat = workload.Collector{}
+	qs.stageRec.Reset()
+	qs.firstSubmit, qs.lastComplete = 0, 0
+	qs.hasSubmit = false
+	qs.bytes = 0
+}
+
+// cmdInWindow reports whether a completing command still belongs to the
+// current measured window of its queue (multi-queue) or of the interface
+// (single-stream).
+func (i *Interface) cmdInWindow(cmd *Command) bool {
+	if cmd.Queue >= 0 {
+		return cmd.winGen == i.qs[cmd.Queue].winGen
+	}
+	return cmd.winGen == i.winGen
+}
+
+// NumQueues reports the number of submission queues (0 for the
+// single-stream player).
+func (i *Interface) NumQueues() int { return len(i.qs) }
+
+// QueueLatency exposes queue q's per-op-class latency collector.
+func (i *Interface) QueueLatency(q int) *workload.Collector { return &i.qs[q].lat }
+
+// QueueStageBreakdown summarises queue q's per-stage latency attribution.
+func (i *Interface) QueueStageBreakdown(q int) telemetry.Breakdown {
+	return i.qs[q].stageRec.Breakdown()
+}
+
+// QueueThroughputMBps reports queue q's payload throughput over its
+// measured window.
+func (i *Interface) QueueThroughputMBps(q int) float64 {
+	qs := i.qs[q]
+	dur := qs.lastComplete - qs.firstSubmit
+	if dur <= 0 {
+		return 0
+	}
+	return float64(qs.bytes) / dur.Seconds() / 1e6
+}
+
+// QueueCompleted reports how many of queue q's commands completed (whole
+// run, not window-gated).
+func (i *Interface) QueueCompleted(q int) uint64 { return i.qs[q].completed }
+
+// QueueInflightPeak reports queue q's peak outstanding commands (SQ +
+// dispatched).
+func (i *Interface) QueueInflightPeak(q int) int { return i.qs[q].inflightPeak }

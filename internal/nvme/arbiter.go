@@ -1,0 +1,134 @@
+package nvme
+
+// Arbiter picks which submission queue the device services next. Pick is
+// called once per dispatch with the indices of every queue that has a
+// pending head command, in ascending order; it returns one of them. The
+// arbiter owns any rotation or credit state, so decisions can depend on
+// service history (round-robin position, WRR credits) as well as on the
+// static tenant attributes it was built with.
+type Arbiter interface {
+	// Pick chooses among the ready queue indices. ready is never empty.
+	Pick(ready []int) int
+	// Name identifies the policy for labels and exports.
+	Name() string
+}
+
+// NewArbiter builds the arbiter for a policy over the given tenants.
+func NewArbiter(p Policy, tenants []Tenant) Arbiter {
+	switch p {
+	case PolicyWRR:
+		w := &wrrArbiter{rr: roundRobin{last: -1}, credits: make([]int, len(tenants))}
+		w.weights = make([]int, len(tenants))
+		w.urgent = make([]bool, len(tenants))
+		for i, t := range tenants {
+			w.weights[i] = t.weight()
+			w.urgent[i] = t.Class == ClassUrgent
+		}
+		return w
+	case PolicyPrio:
+		pr := &prioArbiter{rr: roundRobin{last: -1}, class: make([]Class, len(tenants))}
+		for i, t := range tenants {
+			pr.class[i] = t.Class
+		}
+		return pr
+	default:
+		return &rrArbiter{roundRobin{last: -1}}
+	}
+}
+
+// roundRobin rotates over ready queue indices: the queue after the most
+// recently served one (in index order, wrapping) is served next.
+type roundRobin struct{ last int }
+
+// pick returns the first ready index strictly after last, wrapping.
+func (r *roundRobin) pick(ready []int) int {
+	choice := ready[0]
+	for _, q := range ready {
+		if q > r.last {
+			choice = q
+			break
+		}
+	}
+	r.last = choice
+	return choice
+}
+
+// rrArbiter is plain NVMe round-robin arbitration.
+type rrArbiter struct{ rr roundRobin }
+
+func (a *rrArbiter) Name() string        { return PolicyRR.String() }
+func (a *rrArbiter) Pick(ready []int) int { return a.rr.pick(ready) }
+
+// wrrArbiter is NVMe weighted round robin with an urgent class: urgent
+// queues are served strictly first (round-robin among themselves); the
+// remaining queues share service in proportion to their weights via a
+// credit scheme — each service consumes one credit, and when every ready
+// weighted queue is out of credits, all queues replenish to their weight.
+type wrrArbiter struct {
+	rr      roundRobin
+	weights []int
+	credits []int
+	urgent  []bool
+
+	urgentBuf, weightedBuf []int // reusable Pick scratch
+}
+
+func (a *wrrArbiter) Name() string { return PolicyWRR.String() }
+
+func (a *wrrArbiter) Pick(ready []int) int {
+	a.urgentBuf, a.weightedBuf = a.urgentBuf[:0], a.weightedBuf[:0]
+	for _, q := range ready {
+		if a.urgent[q] {
+			a.urgentBuf = append(a.urgentBuf, q)
+		} else {
+			a.weightedBuf = append(a.weightedBuf, q)
+		}
+	}
+	if len(a.urgentBuf) > 0 {
+		return a.rr.pick(a.urgentBuf)
+	}
+	// Weighted classes: rotate among queues that still hold credits;
+	// replenish when the ready set is dry.
+	funded := a.urgentBuf[:0] // reuse: urgentBuf is empty here
+	for _, q := range a.weightedBuf {
+		if a.credits[q] > 0 {
+			funded = append(funded, q)
+		}
+	}
+	if len(funded) == 0 {
+		for i, w := range a.weights {
+			a.credits[i] = w
+		}
+		funded = a.weightedBuf
+	}
+	choice := a.rr.pick(funded)
+	a.credits[choice]--
+	return choice
+}
+
+// prioArbiter is strict priority: the highest ready class always wins,
+// round-robin within the class.
+type prioArbiter struct {
+	rr    roundRobin
+	class []Class
+
+	buf []int // reusable Pick scratch
+}
+
+func (a *prioArbiter) Name() string { return PolicyPrio.String() }
+
+func (a *prioArbiter) Pick(ready []int) int {
+	best := a.class[ready[0]]
+	for _, q := range ready[1:] {
+		if a.class[q] > best {
+			best = a.class[q]
+		}
+	}
+	a.buf = a.buf[:0]
+	for _, q := range ready {
+		if a.class[q] == best {
+			a.buf = append(a.buf, q)
+		}
+	}
+	return a.rr.pick(a.buf)
+}

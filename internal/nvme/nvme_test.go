@@ -1,0 +1,136 @@
+package nvme
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestTenantSetAggregates pins the scenario-level helpers core plans a run
+// with: spans, request/byte totals, read/write/open classification.
+func TestTenantSetAggregates(t *testing.T) {
+	set, err := ParseTenants(
+		"r@high:100xRR,span=1m | w:200xSW,span=2m,arrival=poisson:5000 | p:50xSW,span=1m;80xRR,record,span=1m",
+		baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.TotalRequests(); got != 100+200+50+80 {
+		t.Errorf("TotalRequests = %d", got)
+	}
+	if got := set.TotalBytes(); got != int64(430)*4096 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if !set.MayRead() {
+		t.Error("set with readers must MayRead")
+	}
+	if !set.Open() {
+		t.Error("set with a poisson tenant must be Open")
+	}
+	if !set.RandomWrites() {
+		t.Error("two writing tenants must classify random")
+	}
+	// The phased tenant's namespace is its widest phase span.
+	if got := set.Tenants[2].NSBytes(); got != 1<<20 {
+		t.Errorf("phased NSBytes = %d", got)
+	}
+	// Read span covers through the last reading tenant (the phased one).
+	if got, want := set.ReadSpan(), set.TotalSpan(); got != want {
+		t.Errorf("ReadSpan = %d, want %d", got, want)
+	}
+
+	closed, err := ParseTenants("a:10xSW,span=1m", baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Open() || closed.MayRead() || closed.RandomWrites() {
+		t.Errorf("single sequential writer misclassified: open=%v read=%v random=%v",
+			closed.Open(), closed.MayRead(), closed.RandomWrites())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	ok := Tenant{Name: "a", Workload: workload.Spec{
+		Pattern: 0, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 10, Seed: 1}}
+	cases := []struct {
+		name string
+		set  TenantSet
+	}{
+		{"empty set", TenantSet{}},
+		{"bad policy", TenantSet{Tenants: []Tenant{ok}, Policy: Policy(9)}},
+		{"no name", TenantSet{Tenants: []Tenant{{Workload: ok.Workload}}}},
+		{"reserved chars", TenantSet{Tenants: []Tenant{{Name: "a|b", Workload: ok.Workload}}}},
+		{"negative weight", TenantSet{Tenants: []Tenant{{Name: "a", Weight: -1, Workload: ok.Workload}}}},
+		{"negative depth", TenantSet{Tenants: []Tenant{{Name: "a", Depth: -2, Workload: ok.Workload}}}},
+		{"bad class", TenantSet{Tenants: []Tenant{{Name: "a", Class: Class(7), Workload: ok.Workload}}}},
+		{"replay tenant", TenantSet{Tenants: []Tenant{{Name: "a", Workload: workload.Spec{TracePath: "x.trace"}}}}},
+		{"replay phase", TenantSet{Tenants: []Tenant{{Name: "a", Workload: workload.Spec{
+			Phases: []workload.Spec{{TracePath: "x.trace"}}}}}}},
+		{"invalid workload", TenantSet{Tenants: []Tenant{{Name: "a"}}}},
+	}
+	for _, c := range cases {
+		if err := c.set.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid set", c.name)
+		}
+	}
+	if err := (TenantSet{Tenants: []Tenant{ok}}).Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+// TestQueuesContract covers the compiled MultiSource surface the host
+// interface consumes.
+func TestQueuesContract(t *testing.T) {
+	set, err := ParseTenants("a@urgent*2#6:10xSW,span=1m | b:10xSW;5xRR,record,span=1m", baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Policy = PolicyWRR
+	q, err := set.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.Set().Policy != PolicyWRR {
+		t.Errorf("Set().Policy = %v", q.Set().Policy)
+	}
+	if q.QueueDepth(0) != 6 || q.QueueDepth(1) != 0 {
+		t.Errorf("depths = %d %d", q.QueueDepth(0), q.QueueDepth(1))
+	}
+	// Queue a has no phase structure: always recording. Queue b records
+	// only its second phase; Recording reflects the last pulled request.
+	if !q.Recording(0) {
+		t.Error("plain queue must record")
+	}
+	if _, ok := q.Next(1); !ok {
+		t.Fatal("queue b empty")
+	}
+	if q.Recording(1) {
+		t.Error("queue b's first phase is unrecorded")
+	}
+	for i := 0; i < 10; i++ { // drain phase one, enter the recorded phase
+		if _, ok := q.Next(1); !ok {
+			t.Fatal("queue b ended early")
+		}
+	}
+	if !q.Recording(1) {
+		t.Error("queue b's second phase must record")
+	}
+	// Pick delegates to the arbiter: the urgent queue always wins.
+	if got := q.Pick([]int{0, 1}); got != 0 {
+		t.Errorf("Pick = %d, want the urgent queue", got)
+	}
+	q.SetClock(func() float64 { return 0 }) // phased generators accept the clock
+	if err := q.Err(); err != nil {
+		t.Errorf("Err = %v", err)
+	}
+	for _, a := range []Arbiter{
+		NewArbiter(PolicyRR, set.Tenants),
+		NewArbiter(PolicyWRR, set.Tenants),
+		NewArbiter(PolicyPrio, set.Tenants),
+	} {
+		if a.Name() == "" || a.Name() == "?" {
+			t.Errorf("arbiter has no name: %T", a)
+		}
+	}
+}

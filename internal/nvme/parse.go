@@ -1,0 +1,128 @@
+package nvme
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// ParseTenants decodes a compact multi-tenant scenario description, in the
+// same spirit as the workload package's phase DSL. Tenants are separated by
+// '|'; each tenant is
+//
+//	<header>:<phases>
+//
+// where header is
+//
+//	<name>[@<class>][*<weight>][#<depth>]
+//
+// (class: low, medium, high, urgent; weight: WRR share >= 1; depth: max
+// outstanding commands for the queue) and phases is a workload phase spec
+// exactly as accepted by workload.ParsePhases — semicolon-separated
+// "<requests>x<pattern>[,option...]" fields with block/span/mix/skew/
+// arrival/seed/record options. base supplies the block, span and seed
+// defaults of every tenant. The arbitration policy is chosen separately
+// (ParsePolicy); it is an axis, not part of the scenario.
+//
+// Example — a latency-sensitive reader next to a throughput-hungry writer:
+//
+//	victim@high:6000xRR | noisy*4:20000xSW,arrival=poisson:50000
+func ParseTenants(s string, base workload.Spec) (TenantSet, error) {
+	var set TenantSet
+	for i, field := range strings.Split(s, "|") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return TenantSet{}, fmt.Errorf("nvme: tenant %d is empty in %q", i, s)
+		}
+		t, err := parseTenant(field, base)
+		if err != nil {
+			return TenantSet{}, fmt.Errorf("nvme: tenant %d: %w", i, err)
+		}
+		set.Tenants = append(set.Tenants, t)
+	}
+	return set, set.Validate()
+}
+
+// parseTenant decodes one "<header>:<phases>" field.
+func parseTenant(field string, base workload.Spec) (Tenant, error) {
+	colon := strings.IndexByte(field, ':')
+	if colon <= 0 || colon == len(field)-1 {
+		return Tenant{}, fmt.Errorf("want <name>[@class][*weight][#depth]:<phases>, got %q", field)
+	}
+	t, err := parseHeader(field[:colon])
+	if err != nil {
+		return Tenant{}, err
+	}
+	w, err := workload.ParsePhases(field[colon+1:], base)
+	if err != nil {
+		return Tenant{}, fmt.Errorf("tenant %q: %w", t.Name, err)
+	}
+	if len(w.Phases) == 1 && !w.Phases[0].Record {
+		// A single-phase tenant is just a plain workload; unwrap so the
+		// canonical form (and the cache key) match a directly-built Spec.
+		w = w.Phases[0]
+	}
+	t.Workload = w
+	return t, nil
+}
+
+// parseHeader decodes "<name>[@class][*weight][#depth]" (modifiers in any
+// order).
+func parseHeader(h string) (Tenant, error) {
+	h = strings.TrimSpace(h)
+	cut := len(h)
+	for i, r := range h {
+		if r == '@' || r == '*' || r == '#' {
+			cut = i
+			break
+		}
+	}
+	t := Tenant{Name: h[:cut], Class: ClassMedium}
+	if t.Name == "" {
+		return Tenant{}, fmt.Errorf("tenant header %q has no name", h)
+	}
+	rest := h[cut:]
+	for rest != "" {
+		kind := rest[0]
+		end := 1
+		for end < len(rest) && rest[end] != '@' && rest[end] != '*' && rest[end] != '#' {
+			end++
+		}
+		val := rest[1:end]
+		rest = rest[end:]
+		switch kind {
+		case '@':
+			c, err := ParseClass(val)
+			if err != nil {
+				return Tenant{}, err
+			}
+			t.Class = c
+		case '*':
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Tenant{}, fmt.Errorf("bad weight %q in tenant header %q", val, h)
+			}
+			t.Weight = n
+		case '#':
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Tenant{}, fmt.Errorf("bad depth %q in tenant header %q", val, h)
+			}
+			t.Depth = n
+		}
+	}
+	return t, nil
+}
+
+// FormatTenants renders a tenant set back into the ParseTenants syntax
+// (every workload parameter explicit). It is the inverse used by tests to
+// prove the syntax round-trips.
+func FormatTenants(s TenantSet) string {
+	parts := make([]string, len(s.Tenants))
+	for i, t := range s.Tenants {
+		parts[i] = t.Describe() + ":" + workload.FormatPhases(t.Workload)
+	}
+	return strings.Join(parts, "|")
+}

@@ -1,0 +1,121 @@
+package nvme
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Queues is a compiled TenantSet: one live generator per submission queue,
+// namespace offsets applied, plus the arbitration state. It implements the
+// host interface's MultiSource contract (per-queue streams, per-queue
+// depths, a Pick decision at every dispatch), so the multi-queue trace
+// player can drive it without knowing about tenants.
+type Queues struct {
+	set   TenantSet
+	arb   Arbiter
+	gens  []workload.Generator
+	recs  []workload.RecordAware // non-nil where the generator is phase-aware
+	bases []int64                // namespace base offsets, sectors
+}
+
+// Compile builds the live queue set: validates, lays out namespaces, and
+// instantiates one generator per tenant.
+func (s TenantSet) Compile() (*Queues, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	q := &Queues{
+		set:   s,
+		arb:   NewArbiter(s.Policy, s.Tenants),
+		gens:  make([]workload.Generator, len(s.Tenants)),
+		recs:  make([]workload.RecordAware, len(s.Tenants)),
+		bases: s.Layout(),
+	}
+	for i, t := range s.Tenants {
+		g, err := t.Workload.Generator()
+		if err != nil {
+			q.Close()
+			return nil, fmt.Errorf("nvme: tenant %q: %w", t.Name, err)
+		}
+		q.gens[i] = g
+		if ra, ok := g.(workload.RecordAware); ok {
+			q.recs[i] = ra
+		}
+	}
+	return q, nil
+}
+
+// Set returns the tenant set the queues were compiled from.
+func (q *Queues) Set() TenantSet { return q.set }
+
+// NumQueues implements hostif.MultiSource.
+func (q *Queues) NumQueues() int { return len(q.gens) }
+
+// QueueName implements hostif.MultiSource.
+func (q *Queues) QueueName(i int) string { return q.set.Tenants[i].Name }
+
+// QueueDepth implements hostif.MultiSource: the tenant's outstanding-command
+// bound (0 defers to the host interface's window).
+func (q *Queues) QueueDepth(i int) int { return q.set.Tenants[i].Depth }
+
+// Next implements hostif.MultiSource: the tenant's next request, rebased
+// into its namespace partition.
+func (q *Queues) Next(i int) (trace.Request, bool) {
+	req, ok := q.gens[i].Next()
+	if ok {
+		req.LBA += q.bases[i]
+	}
+	return req, ok
+}
+
+// Recording implements hostif.MultiSource: whether queue i's most recently
+// pulled request belongs to a measured phase.
+func (q *Queues) Recording(i int) bool {
+	if q.recs[i] == nil {
+		return true
+	}
+	return q.recs[i].Recording()
+}
+
+// Pick implements hostif.MultiSource by delegating to the arbiter.
+func (q *Queues) Pick(ready []int) int { return q.arb.Pick(ready) }
+
+// SetClock forwards the simulation clock to phase-aware generators (open-
+// loop arrival rebasing across closed-loop phase boundaries).
+func (q *Queues) SetClock(now func() float64) {
+	for _, g := range q.gens {
+		if c, ok := g.(workload.Clocked); ok {
+			c.SetClock(now)
+		}
+	}
+}
+
+// Err surfaces the first stream error any queue hit.
+func (q *Queues) Err() error {
+	for i, g := range q.gens {
+		if e, ok := g.(interface{ Err() error }); ok {
+			if err := e.Err(); err != nil {
+				return fmt.Errorf("nvme: tenant %q: %w", q.set.Tenants[i].Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases any generator-held resources.
+func (q *Queues) Close() error {
+	var first error
+	for _, g := range q.gens {
+		if g == nil {
+			continue
+		}
+		if c, ok := g.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

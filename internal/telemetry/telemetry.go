@@ -133,6 +133,14 @@ func (r *Recorder) Observe(sp *Span) {
 // Reset clears every distribution (phase-boundary measurement reset).
 func (r *Recorder) Reset() { *r = Recorder{} }
 
+// Merge folds other's distributions into r (per-tenant recorders merge into
+// the drive-level breakdown).
+func (r *Recorder) Merge(other *Recorder) {
+	for st := Stage(0); st < NumStages; st++ {
+		r.stages[st].Merge(&other.stages[st])
+	}
+}
+
 // Stage summarises one stage's distribution.
 func (r *Recorder) Stage(st Stage) workload.LatStats { return r.stages[st].Stats() }
 

@@ -13,18 +13,23 @@ import (
 // time as the consumer pulls them, so arbitrarily large trace files replay
 // in constant memory. A Reader is the file-backed counterpart of a
 // SliceStream; Next returning false means end-of-trace or an error — check
-// Err to tell them apart.
+// Err to tell them apart. The line decoder is pluggable (see Format and
+// ParseReaderFormat), so foreign trace formats stream through the same
+// Reader the canonical format uses.
 type Reader struct {
 	sc     *bufio.Scanner
 	lineno int
 	err    error
+
+	// parse decodes one non-comment line. skip=true drops the line without
+	// producing a request (e.g. a blktrace event that is not a queue
+	// insertion); an error ends the stream.
+	parse func(line string, lineno int) (req Request, skip bool, err error)
 }
 
-// ParseReader wraps r in a streaming trace parser.
+// ParseReader wraps r in a streaming parser of the canonical trace format.
 func ParseReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	return &Reader{sc: sc}
+	return ParseReaderFormat(r, FormatCanonical)
 }
 
 // Next returns the next request. ok=false ends the stream; Err reports
@@ -39,10 +44,13 @@ func (r *Reader) Next() (Request, bool) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		req, err := parseLine(line, r.lineno)
+		req, skip, err := r.parse(line, r.lineno)
 		if err != nil {
 			r.err = err
 			return Request{}, false
+		}
+		if skip {
+			continue
 		}
 		return req, true
 	}
@@ -54,6 +62,12 @@ func (r *Reader) Next() (Request, bool) {
 
 // Err returns the error that terminated the stream, if any.
 func (r *Reader) Err() error { return r.err }
+
+// parseCanonical adapts parseLine to the pluggable decoder signature.
+func parseCanonical(line string, lineno int) (Request, bool, error) {
+	req, err := parseLine(line, lineno)
+	return req, false, err
+}
 
 // parseLine decodes one non-comment trace line.
 func parseLine(line string, lineno int) (Request, error) {

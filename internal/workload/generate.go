@@ -367,22 +367,30 @@ func (p *phased) Err() error {
 // is just another workload. Parse errors stop the stream and are reported
 // by Err (the platform checks after draining). A windowed Classifier rides
 // the stream, so the platform can adapt the WAF abstraction and read
-// preloading while the file plays — no pre-scan pass required.
+// preloading while the file plays — no pre-scan pass required. The file's
+// dialect (canonical, blktrace text, MSR Cambridge CSV) is sniffed from its
+// first lines, so foreign traces replay with no conversion step.
 type Replay struct {
-	f   *os.File
-	r   *trace.Reader
-	cls *Classifier
-	err error
+	f      *os.File
+	r      *trace.Reader
+	format trace.Format
+	cls    *Classifier
+	err    error
 }
 
-// OpenReplay opens path for streaming replay.
+// OpenReplay opens path for streaming replay, auto-detecting the trace
+// format.
 func OpenReplay(path string) (*Replay, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
-	return &Replay{f: f, r: trace.ParseReader(f), cls: NewClassifier(0)}, nil
+	r, format := trace.ParseReaderAuto(f)
+	return &Replay{f: f, r: r, format: format, cls: NewClassifier(0)}, nil
 }
+
+// Format reports the detected trace dialect.
+func (r *Replay) Format() trace.Format { return r.format }
 
 // Classification implements Classifying: the live windowed classification
 // of the portion of the trace streamed so far.
@@ -402,7 +410,8 @@ func (r *Replay) Next() (trace.Request, bool) {
 	return req, ok
 }
 
-// Reset implements Generator by rewinding the file.
+// Reset implements Generator by rewinding the file (the dialect detected
+// at open time sticks).
 func (r *Replay) Reset() {
 	if _, err := r.f.Seek(0, 0); err != nil {
 		r.err = err
@@ -410,7 +419,7 @@ func (r *Replay) Reset() {
 	}
 	r.err = nil
 	r.cls.Reset()
-	r.r = trace.ParseReader(r.f)
+	r.r = trace.ParseReaderFormat(r.f, r.format)
 }
 
 // Err returns the parse or I/O error that ended the stream, if any.

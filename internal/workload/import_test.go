@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestReplayAutoDetectsForeignFormats proves the replay generator streams
+// committed blktrace and MSR fixtures without a conversion step, and that
+// Reset keeps the detected dialect.
+func TestReplayAutoDetectsForeignFormats(t *testing.T) {
+	cases := []struct {
+		path   string
+		format trace.Format
+		reqs   int
+		writes int
+	}{
+		{"testdata/sample.blktrace", trace.FormatBlktrace, 4, 3},
+		{"testdata/sample.msr", trace.FormatMSR, 3, 2},
+	}
+	for _, c := range cases {
+		r, err := OpenReplay(c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		if r.Format() != c.format {
+			t.Errorf("%s detected as %v, want %v", c.path, r.Format(), c.format)
+		}
+		for pass := 0; pass < 2; pass++ { // second pass exercises Reset
+			if pass > 0 {
+				r.Reset()
+			}
+			n, writes := 0, 0
+			for {
+				req, ok := r.Next()
+				if !ok {
+					break
+				}
+				n++
+				if req.Op == trace.OpWrite {
+					writes++
+				}
+			}
+			if err := r.Err(); err != nil {
+				t.Fatalf("%s pass %d: %v", c.path, pass, err)
+			}
+			if n != c.reqs || writes != c.writes {
+				t.Errorf("%s pass %d: %d requests (%d writes), want %d (%d)",
+					c.path, pass, n, writes, c.reqs, c.writes)
+			}
+		}
+		// The classifier rode the stream: replay needs no pre-scan.
+		if r.Classification().Info().Writes != c.writes {
+			t.Errorf("%s: classifier saw %d writes, want %d",
+				c.path, r.Classification().Info().Writes, c.writes)
+		}
+		r.Close()
+	}
+}

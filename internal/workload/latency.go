@@ -60,6 +60,19 @@ func (h *Histogram) Record(d sim.Time) {
 	}
 }
 
+// Merge folds other's observations into h (bucket-exact: merging then
+// querying equals recording every observation into one histogram).
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.n }
 
@@ -148,6 +161,14 @@ func (c *Collector) Record(op trace.Op, d sim.Time) {
 		c.write.Record(d)
 	}
 	c.all.Record(d)
+}
+
+// Merge folds other's distributions into c (the multi-queue host interface
+// merges per-tenant collectors into the drive-level view).
+func (c *Collector) Merge(other *Collector) {
+	c.read.Merge(&other.read)
+	c.write.Merge(&other.write)
+	c.all.Merge(&other.all)
 }
 
 // Read summarises read-command latency.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/nvme"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -207,6 +208,61 @@ func RunTrace(cfg Config, reqs []trace.Request) (Result, error) {
 	return p.RunRequests(reqs)
 }
 
+// --- multi-queue host interface (tenant-aware QoS) --------------------------
+//
+// The nvme layer is the NVMe-style front end: N submission/completion queue
+// pairs, namespaces partitioning the LBA space, and pluggable arbitration
+// (round robin, weighted round robin with an urgent class, strict
+// priority). Each queue binds its own workload, so one scenario runs a
+// latency-sensitive tenant next to a throughput-hungry one and measures the
+// isolation.
+
+// Tenant is one submission queue and the client behind it: name, weight,
+// priority class, outstanding bound and workload.
+type Tenant = nvme.Tenant
+
+// TenantSet is a complete multi-queue scenario (tenants + arbitration).
+type TenantSet = nvme.TenantSet
+
+// QoSPolicy selects the arbitration mechanism between submission queues.
+type QoSPolicy = nvme.Policy
+
+// QoSClass is an NVMe-style priority class (low, medium, high, urgent).
+type QoSClass = nvme.Class
+
+// Arbitration policies.
+const (
+	PolicyRR   = nvme.PolicyRR
+	PolicyWRR  = nvme.PolicyWRR
+	PolicyPrio = nvme.PolicyPrio
+)
+
+// TenantResult is one tenant's share of a multi-queue run's Result.
+type TenantResult = core.TenantResult
+
+// ParseTenants decodes the multi-tenant DSL, e.g.
+// "victim@high:6000xRR | noisy*4:20000xSW,arrival=poisson:50000" — tenants
+// separated by '|', each "<name>[@class][*weight][#depth]:<phases>" with
+// the phases in the ParsePhases syntax. base supplies block/span/seed
+// defaults.
+func ParseTenants(s string, base Workload) (TenantSet, error) { return nvme.ParseTenants(s, base) }
+
+// FormatTenants renders a tenant set back into the ParseTenants syntax.
+func FormatTenants(set TenantSet) string { return nvme.FormatTenants(set) }
+
+// ParseQoSPolicy decodes "rr", "wrr" or "prio".
+func ParseQoSPolicy(s string) (QoSPolicy, error) { return nvme.ParsePolicy(s) }
+
+// RunTenants builds a fresh platform from cfg and executes the multi-queue
+// scenario in the given measurement mode. The Result carries per-tenant
+// latency/stage breakdowns, slowdowns and Jain's fairness index.
+func RunTenants(cfg Config, set TenantSet, mode Mode) (Result, error) {
+	return core.RunTenantWorkload(cfg, set, mode)
+}
+
+// JainFairness computes Jain's fairness index over arbitrary shares.
+func JainFairness(xs []float64) float64 { return core.JainFairness(xs) }
+
 // --- design-space exploration ----------------------------------------------
 //
 // The dse engine is the paper's headline workflow made first-class: describe
@@ -275,4 +331,4 @@ func Explore(ctx context.Context, s Space, workers int) ([]Eval, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.3.0"
+const Version = "1.4.0"
