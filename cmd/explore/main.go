@@ -43,7 +43,7 @@ func main() {
 		mixes    = flag.String("mix", "", "comma-separated write fractions for mixed read/write traffic (empty = pattern direction)")
 		skews    = flag.String("skew", "", "comma-separated address skews (uniform, zipf:<theta>, hotspot:<frac>:<prob>)")
 		arrivals = flag.String("arrival", "", "comma-separated arrival processes (closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>)")
-		tenants  = flag.String("tenants", "", "multi-tenant scenario swept instead of the single-workload axes, e.g. 'victim@high:2000xRR | noisy*4:8000xSW'")
+		tenants  = flag.String("tenants", "", "multi-tenant scenario swept instead of the single-workload axes, e.g. 'victim@high:2000xRR | noisy*4!8:8000xSW' (header: <name>[@class][*weight][#depth][!burst])")
 		arbs     = flag.String("arb", "", "comma-separated arbitration policies to sweep with -tenants (rr, wrr, prio; empty = rr)")
 		span     = flag.Int64("span", 1<<28, "addressable span in bytes")
 		requests = flag.Int("requests", 2000, "requests per point")

@@ -36,7 +36,7 @@ func main() {
 		arrival    = flag.String("arrival", "", "arrival process: closed, poisson:<iops>, onoff:<iops>:<on_ms>:<off_ms>")
 		precond    = flag.Int("precondition", 0, "sequential-write requests issued as an unmeasured phase before the measured workload")
 		phasesSpec = flag.String("phases", "", "multi-phase scenario, e.g. '4000xSW;8000xRR,skew=zipf:0.9,record' (overrides -pattern/-requests; record flags the measured window)")
-		tenantSpec = flag.String("tenants", "", "multi-tenant scenario, e.g. 'victim@high:6000xRR | noisy*4:20000xSW,arrival=poisson:50000' (each tenant is <name>[@class][*weight][#depth]:<phases>)")
+		tenantSpec = flag.String("tenants", "", "multi-tenant scenario, e.g. 'victim@high:6000xRR | noisy*4:20000xSW,arrival=poisson:50000' (each tenant is <name>[@class][*weight][#depth][!burst]:<phases>)")
 		arbPolicy  = flag.String("arb", "rr", "arbitration policy between tenant queues: rr, wrr, prio")
 		mode       = flag.String("mode", "ssd", "measurement mode: ssd, host-ideal, host+ddr, ddr+flash")
 		tracePath  = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
@@ -171,6 +171,34 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+	printPhases := func(indent string, phases []ssdx.PhaseProfile) {
+		for _, ph := range phases {
+			marker := " "
+			if ph.Recorded {
+				marker = "*" // part of the measured window
+			}
+			label := ph.Label
+			if label == "" {
+				label = "?"
+			}
+			fmt.Printf("%sphase %d%s mean %8.1f  p99 %8.1f  (%d ops)  %s\n",
+				indent, ph.Index, marker, ph.All.MeanUS, ph.All.P99US, ph.Ops, label)
+			fmt.Printf("%s        stage mean us:", indent)
+			for _, st := range stages {
+				if s := ph.Stages.ByStage(st); s.MeanUS > 0 {
+					fmt.Printf("  %v %.1f", st, s.MeanUS)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	printPhases("  ", res.Phases)
+	for _, tr := range res.Tenants {
+		if len(tr.Phases) > 0 {
+			fmt.Printf("  tenant %s phases:\n", tr.Name)
+			printPhases("    ", tr.Phases)
+		}
 	}
 	if *verbose {
 		printLat("all", res.AllLat)

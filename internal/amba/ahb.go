@@ -85,6 +85,9 @@ type Bus struct {
 
 	layers  []*layer
 	masters []*Master
+
+	xferPool sim.FreeList[xfer]     // recycled Transfer state (hot-path allocation control)
+	delPool  sim.FreeList[delivery] // recycled per-grant delivery records
 }
 
 // layer is one arbitrated crossbar layer with its own round-robin pointer.
@@ -102,15 +105,36 @@ type Master struct {
 	bus   *Bus
 	layer *layer
 
-	pending []*grantReq
+	pending []*xfer
 
 	Bytes  uint64
 	Grants uint64
 }
 
-type grantReq struct {
-	bytes int64
-	fn    func(start, end sim.Time)
+// xfer is one in-flight Transfer: a chunked move whose grants are
+// individually arbitrated (the head chunk of the head transfer is served per
+// grant, so long moves still cannot starve other masters). Transfers are
+// pooled on the bus so the steady-state DMA path never allocates.
+type xfer struct {
+	m         *Master
+	remaining int64
+	first     sim.Time
+	haveFirst bool
+	chunk     func(end sim.Time, n int64)
+	done      func(start, end sim.Time)
+}
+
+// delivery is one granted chunk awaiting its completion event. The state
+// lives per grant — not on the xfer — because a same-timestamp kick from an
+// unrelated completion may legally grant a transfer's next chunk before the
+// previous chunk's completion callback has run. fire is pre-bound so pooled
+// deliveries never need a fresh closure.
+type delivery struct {
+	x          *xfer
+	start, end sim.Time
+	bytes      int64
+	last       bool
+	fire       func()
 }
 
 // NewBus builds the interconnect.
@@ -177,37 +201,55 @@ func (m *Master) Transfer(bytes int64, chunk func(end sim.Time, n int64), done f
 	if bytes <= 0 {
 		return errors.New("amba: transfer of non-positive size")
 	}
-	var first sim.Time
-	haveFirst := false
-	remaining := bytes
-	var enqueue func(n int64, last bool)
-	enqueue = func(n int64, last bool) {
-		m.pending = append(m.pending, &grantReq{bytes: n, fn: func(start, end sim.Time) {
-			if !haveFirst {
-				first = start
-				haveFirst = true
-			}
-			if chunk != nil {
-				chunk(end, n)
-			}
-			if last {
-				if done != nil {
-					done(first, end)
-				}
-				return
-			}
-		}})
-	}
-	for remaining > 0 {
-		n := remaining
-		if n > m.bus.cfg.MaxGrantBytes {
-			n = m.bus.cfg.MaxGrantBytes
-		}
-		remaining -= n
-		enqueue(n, remaining == 0)
-	}
+	x := m.bus.allocXfer()
+	x.m = m
+	x.remaining = bytes
+	x.chunk, x.done = chunk, done
+	m.pending = append(m.pending, x)
 	m.layer.kick()
 	return nil
+}
+
+// allocXfer takes a pooled transfer or builds a fresh one.
+func (b *Bus) allocXfer() *xfer {
+	if x := b.xferPool.Take(); x != nil {
+		return x
+	}
+	return &xfer{}
+}
+
+// allocDelivery takes a pooled delivery record (or builds one with its fire
+// callback).
+func (b *Bus) allocDelivery() *delivery {
+	if d := b.delPool.Take(); d != nil {
+		return d
+	}
+	d := &delivery{}
+	d.fire = func() {
+		x, start, end, nb, last := d.x, d.start, d.end, d.bytes, d.last
+		d.x = nil
+		b.delPool.Give(d)
+		if !x.haveFirst {
+			x.first, x.haveFirst = start, true
+		}
+		first, l := x.first, x.m.layer
+		chunk, done := x.chunk, x.done
+		if last {
+			// Recycle before the callbacks: they may start a new transfer,
+			// and everything this delivery needs is already copied out.
+			x.m, x.chunk, x.done = nil, nil, nil
+			x.haveFirst = false
+			b.xferPool.Give(x)
+		}
+		if chunk != nil {
+			chunk(end, nb)
+		}
+		if last && done != nil {
+			done(first, end)
+		}
+		l.kick()
+	}
+	return d
 }
 
 // TransferTime reports the uncontended duration of moving n bytes, useful
@@ -247,22 +289,30 @@ func (l *layer) kick() {
 	if chosen == nil {
 		return
 	}
-	req := chosen.pending[0]
-	copy(chosen.pending, chosen.pending[1:])
-	chosen.pending[len(chosen.pending)-1] = nil
-	chosen.pending = chosen.pending[:len(chosen.pending)-1]
+	x := chosen.pending[0]
+	nb := x.remaining
+	if nb > l.bus.cfg.MaxGrantBytes {
+		nb = l.bus.cfg.MaxGrantBytes
+	}
+	x.remaining -= nb
+	if x.remaining == 0 {
+		// Final chunk granted: the next grant serves the master's next
+		// transfer; this one completes via its in-flight fire event.
+		copy(chosen.pending, chosen.pending[1:])
+		chosen.pending[len(chosen.pending)-1] = nil
+		chosen.pending = chosen.pending[:len(chosen.pending)-1]
+	}
 
 	start := l.bus.clk.NextEdge(now)
-	dur := l.bus.clk.Cycles(l.bus.cfg.grantCycles(req.bytes))
+	dur := l.bus.clk.Cycles(l.bus.cfg.grantCycles(nb))
 	end := start + dur
 	l.busyUntil = end
 	l.Stats.Grants++
-	l.Stats.Bytes += uint64(req.bytes)
+	l.Stats.Bytes += uint64(nb)
 	l.Stats.BusyTime += dur
 	chosen.Grants++
-	chosen.Bytes += uint64(req.bytes)
-	l.bus.k.At(end, func() {
-		req.fn(start, end)
-		l.kick()
-	})
+	chosen.Bytes += uint64(nb)
+	d := l.bus.allocDelivery()
+	d.x, d.start, d.end, d.bytes, d.last = x, start, end, nb, x.remaining == 0
+	l.bus.k.At(end, d.fire)
 }

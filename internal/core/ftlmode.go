@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ftl"
 	"repro/internal/nand"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -67,8 +68,11 @@ func (f *mapperFTL) lpnOf(lba int64, pageBytes int) int64 {
 }
 
 // mapperWrite runs the real FTL for one user page and executes the emitted
-// physical operations in order. done fires when the user program completes.
-func (p *Platform) mapperWrite(lba int64, pageOffset int, done func()) {
+// physical operations in order. sp, when non-nil, is the host command's
+// span, threaded through the user program's batch so FTL-mode writes get the
+// same stage split as the WAF abstraction's. done fires when the user
+// program completes.
+func (p *Platform) mapperWrite(lba int64, pageOffset int, sp *telemetry.Span, done func()) {
 	f := p.mapper
 	lpn := f.lpnOf(lba, p.pageBytes) + int64(pageOffset)
 	if lpn >= f.logical {
@@ -92,17 +96,21 @@ func (p *Platform) mapperWrite(lba int64, pageOffset int, done func()) {
 			p.mapperCopy(op)
 		case ftl.OpProgram:
 			gdie, a := f.place(op.Target)
-			p.mapperProgram(gdie, a, done)
+			p.mapperProgram(gdie, a, sp, done)
 		}
 	}
 }
 
 // mapperProgram issues one page program through ECC in allocation order.
-func (p *Platform) mapperProgram(gdie int, a nand.Addr, done func()) {
+func (p *Platform) mapperProgram(gdie int, a nand.Addr, sp *telemetry.Span, done func()) {
 	ch, die := p.chanDie(gdie)
 	p.stats.flashWrites++
+	var spans []*telemetry.Span
+	if sp != nil {
+		spans = []*telemetry.Span{sp}
+	}
 	prep := func(ready func()) { p.eccEncode(1, ready) }
-	err := p.Channels[ch].WriteMultiPrep(die, []nand.Addr{a}, p.pageBytes, prep, func() {
+	err := p.Channels[ch].WriteMultiPrep(die, []nand.Addr{a}, p.pageBytes, spans, prep, func() {
 		p.lastWritten[gdie] = a
 		p.hasWritten[gdie] = true
 		if done != nil {
@@ -136,7 +144,7 @@ func (p *Platform) mapperCopy(op ftl.Op) {
 			panic(fmt.Sprintf("core: gc source read failed: %v", err))
 		}
 	}
-	err := p.Channels[dstCh].WriteMultiPrep(dstD, []nand.Addr{dstAddr}, p.pageBytes, prep, nil)
+	err := p.Channels[dstCh].WriteMultiPrep(dstD, []nand.Addr{dstAddr}, p.pageBytes, nil, prep, nil)
 	if err != nil {
 		panic(fmt.Sprintf("core: gc program failed: %v", err))
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/hostif"
 	"repro/internal/nand"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -99,7 +100,8 @@ type Platform struct {
 	// Write-path state.
 	compDebt    int64 // channel-compressor fractional-page accumulator
 	stripe      int64
-	pending     [][]func() // per-die accumulating multi-plane batch dones
+	pending     [][]writePage // per-die accumulating multi-plane batch pages
+	spanScratch []*telemetry.Span
 	lastWritten []nand.Addr
 	hasWritten  []bool
 	expectedLBA int64
@@ -286,7 +288,7 @@ func Build(cfg config.Platform) (*Platform, error) {
 	}
 
 	p.alloc = ctrl.NewPageAllocator(p.totalDies, p.geo)
-	p.pending = make([][]func(), p.totalDies)
+	p.pending = make([][]writePage, p.totalDies)
 	p.lastWritten = make([]nand.Addr, p.totalDies)
 	p.hasWritten = make([]bool, p.totalDies)
 	p.expectedLBA = -1
@@ -371,14 +373,24 @@ func (p *Platform) preloadReadRegion(spanBytes int64) error {
 	return nil
 }
 
+// writePage is one page accumulating in a die's multi-plane batch: the
+// host command's span (nil for GC relocations and drain traffic) and the
+// program-completion callback.
+type writePage struct {
+	span *telemetry.Span
+	done func()
+}
+
 // flashWrite routes one user page through ECC into the NAND array,
-// accumulating multi-plane batches per die. done fires when the page's
-// program completes.
-func (p *Platform) flashWrite(done func()) {
+// accumulating multi-plane batches per die. sp, when non-nil, is the host
+// command's span: it rides the batch so the controller can attribute the
+// page's write stages to the command even when the batch mixes pages of
+// several commands. done fires when the page's program completes.
+func (p *Platform) flashWrite(sp *telemetry.Span, done func()) {
 	u := p.stripe / int64(p.planeBatch)
 	p.stripe++
 	gdie := int(u % int64(p.totalDies))
-	p.pending[gdie] = append(p.pending[gdie], done)
+	p.pending[gdie] = append(p.pending[gdie], writePage{span: sp, done: done})
 	p.stats.userPages++
 	if len(p.pending[gdie]) >= p.planeBatch {
 		p.issueBatch(gdie)
@@ -393,11 +405,11 @@ func (p *Platform) flashWrite(done func()) {
 // issueWrite allocates physical pages and enqueues the program — both
 // synchronously, so per-die program order always equals allocation order —
 // pushing the ECC encode latency into the controller's prep stage.
-func (p *Platform) issueWrite(gdie int, dones []func()) {
+func (p *Platform) issueWrite(gdie int, pages []writePage) {
 	ch, die := p.chanDie(gdie)
-	addrs, erases := p.alloc.Batch(gdie, len(dones))
-	for len(addrs) < len(dones) {
-		extra, more := p.alloc.Batch(gdie, len(dones)-len(addrs))
+	addrs, erases := p.alloc.Batch(gdie, len(pages))
+	for len(addrs) < len(pages) {
+		extra, more := p.alloc.Batch(gdie, len(pages)-len(addrs))
 		addrs = append(addrs, extra...)
 		erases = append(erases, more...)
 	}
@@ -409,6 +421,7 @@ func (p *Platform) issueWrite(gdie int, dones []func()) {
 	}
 	p.stats.flashWrites += uint64(len(addrs))
 	// Issue plane-group sub-batches in allocation order.
+	now := p.K.Now()
 	start := 0
 	for start < len(addrs) {
 		end := start + 1
@@ -418,15 +431,32 @@ func (p *Platform) issueWrite(gdie int, dones []func()) {
 			end++
 		}
 		batch := addrs[start:end]
-		batchDones := dones[start:end]
+		batchPages := pages[start:end]
+		// The wait for the multi-plane batch to fill is channel-controller
+		// batching: charge it to the chan stage now, so the prep interval
+		// that follows is pure encode. The controller copies the span list
+		// synchronously, so the scratch buffer is reusable per sub-batch.
+		spans := p.spanScratch[:0]
+		haveSpan := false
+		for _, pg := range batchPages {
+			spans = append(spans, pg.span)
+			if pg.span != nil {
+				pg.span.Advance(telemetry.StageChan, now)
+				haveSpan = true
+			}
+		}
+		p.spanScratch = spans[:0]
+		if !haveSpan {
+			spans = nil
+		}
 		n := len(batch)
 		prep := func(ready func()) { p.eccEncode(n, ready) }
-		err := p.Channels[ch].WriteMultiPrep(die, batch, p.pageBytes, prep, func() {
+		err := p.Channels[ch].WriteMultiPrep(die, batch, p.pageBytes, spans, prep, func() {
 			p.lastWritten[gdie] = batch[n-1]
 			p.hasWritten[gdie] = true
-			for _, d := range batchDones {
-				if d != nil {
-					d()
+			for _, pg := range batchPages {
+				if pg.done != nil {
+					pg.done()
 				}
 			}
 		})
@@ -439,12 +469,12 @@ func (p *Platform) issueWrite(gdie int, dones []func()) {
 
 // issueBatch sends a die's accumulated pages to the channel controller.
 func (p *Platform) issueBatch(gdie int) {
-	dones := p.pending[gdie]
-	if len(dones) == 0 {
+	pages := p.pending[gdie]
+	if len(pages) == 0 {
 		return
 	}
 	p.pending[gdie] = nil
-	p.issueWrite(gdie, dones)
+	p.issueWrite(gdie, pages)
 }
 
 // gcCopy models one greedy-GC page relocation: read a programmed page,
@@ -464,8 +494,9 @@ func (p *Platform) gcCopy() {
 	if err := p.Channels[ch].Read(die, src, p.pageBytes, func() {
 		p.eccDecode(1, func() {
 			// GC programs join the same per-die multi-plane batches as
-			// user pages (real collectors relocate pages in bulk).
-			p.pending[gdie] = append(p.pending[gdie], nil)
+			// user pages (real collectors relocate pages in bulk); they
+			// carry no span — no host command is waiting on them.
+			p.pending[gdie] = append(p.pending[gdie], writePage{})
 			if len(p.pending[gdie]) >= p.planeBatch {
 				p.issueBatch(gdie)
 			}

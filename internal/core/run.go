@@ -48,11 +48,19 @@ type Result struct {
 	AllLat   workload.LatStats
 
 	// Stages attributes the same command latency to pipeline stages
-	// (queued, wire, CPU, DRAM, chan, NAND, ECC) by critical-path
+	// (queued, wire, CPU, DRAM, chan, bus, NAND, ECC) by critical-path
 	// watermarking; the stage means sum to AllLat's mean. This is the
 	// paper's breakdown philosophy applied to latency instead of
 	// throughput.
 	Stages telemetry.Breakdown
+
+	// Phases, on multi-phase scenarios, carries one latency/stage profile
+	// per workload phase — unrecorded precondition phases included — so a
+	// precondition -> measure (or any phase chain) reports every phase's
+	// stage breakdown, not only the last window's. Empty on single-phase
+	// runs, where Stages already covers the whole story; multi-queue runs
+	// carry per-tenant phase profiles inside Tenants instead.
+	Phases []telemetry.PhaseProfile `json:"phases,omitempty"`
 
 	// Open-loop saturation: when offered load exceeds device capacity the
 	// arrival backlog grows without bound and the latency figures describe
@@ -211,8 +219,24 @@ func (p *Platform) runHosted(w workload.Spec, mode Mode) (Result, error) {
 	res.WriteLat = p.Host.Latency().Write()
 	res.AllLat = p.Host.Latency().All()
 	res.Stages = p.Host.StageBreakdown()
+	res.Phases = labeledPhases(p.Host.PhaseProfiles(), w.Phases)
 	res.Saturated, res.BacklogGrowth = p.Host.Saturation()
 	return res, nil
+}
+
+// labeledPhases attaches workload labels to host-interface phase profiles.
+// Single-phase runs return nil: their one profile would only duplicate the
+// window breakdown.
+func labeledPhases(profiles []telemetry.PhaseProfile, phases []workload.Spec) []telemetry.PhaseProfile {
+	if len(profiles) <= 1 {
+		return nil
+	}
+	for i := range profiles {
+		if idx := profiles[i].Index; idx >= 0 && idx < len(phases) {
+			profiles[i].Label = phases[idx].Describe()
+		}
+	}
+	return profiles
 }
 
 // handleCommand is the full command-processing path.
@@ -410,10 +434,11 @@ func (p *Platform) handleWrite(cmd *hostif.Command, mode Mode) {
 							return
 						}
 						onPage := func() {
-							// Program completion: ONFI bus, ECC encode and
-							// tPROG ride the batched write path and land
-							// here as one flash interval.
-							cmd.Span.Advance(telemetry.StageNAND, p.K.Now())
+							// Program completion. The command's span rode
+							// the batched write path page by page, so the
+							// controller has already split the interval
+							// into chan (die queue), bus (ONFI), ecc
+							// (encode prep) and nand (tPROG).
 							p.writeCache.Release()
 							remaining--
 							if completeAtProgram && remaining == 0 {
@@ -422,9 +447,9 @@ func (p *Platform) handleWrite(cmd *hostif.Command, mode Mode) {
 						}
 						for i := 0; i < flashPages; i++ {
 							if p.mapper != nil {
-								p.mapperWrite(req.LBA, i, onPage)
+								p.mapperWrite(req.LBA, i, &cmd.Span, onPage)
 							} else {
-								p.flashWrite(onPage)
+								p.flashWrite(&cmd.Span, onPage)
 							}
 						}
 					})
@@ -548,7 +573,7 @@ func (p *Platform) runDrain(w workload.Spec) (Result, error) {
 		for issued < totalPages && inFlight() < window {
 			issued++
 			if w.Pattern.IsWrite() {
-				p.flashWrite(onDone)
+				p.flashWrite(nil, onDone)
 			} else {
 				gdie, addr := p.readAddr(int64(issued - 1))
 				chIdx, die := p.chanDie(gdie)

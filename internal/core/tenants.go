@@ -34,6 +34,11 @@ type TenantResult struct {
 	// time is the direct readout of how the policy treated the tenant.
 	Stages telemetry.Breakdown `json:"stages"`
 
+	// Phases carries the tenant's per-phase latency/stage profiles when its
+	// workload declares multiple phases (empty otherwise), mirroring
+	// Result.Phases on the single-stream path.
+	Phases []telemetry.PhaseProfile `json:"phases,omitempty"`
+
 	// Slowdown is the tenant's mean latency divided by the best-served
 	// tenant's mean latency (>= 1; 1 for the best-served tenant itself).
 	Slowdown float64 `json:"slowdown"`
@@ -162,6 +167,7 @@ func (p *Platform) tenantResults(set nvme.TenantSet) []TenantResult {
 			WriteLat:     p.Host.QueueLatency(i).Write(),
 			AllLat:       p.Host.QueueLatency(i).All(),
 			Stages:       p.Host.QueueStageBreakdown(i),
+			Phases:       labeledPhases(p.Host.QueuePhaseProfiles(i), t.Workload.Phases),
 		}
 		if tr.AllLat.Ops > 0 && (minMean == 0 || tr.AllLat.MeanUS < minMean) {
 			minMean = tr.AllLat.MeanUS

@@ -86,8 +86,13 @@ type Channel struct {
 	k   *sim.Kernel
 
 	dies    []*nand.Die
-	dieQ    [][]*dieOp // per-die FIFO command queue (the command translator)
-	dieBusy []bool     // die interface occupied (RB# low or data cycles active)
+	dieQ    []opQueue // per-die FIFO command queue (the command translator)
+	dieBusy []bool    // die interface occupied (RB# low or data cycles active)
+
+	// opPool recycles dieOps (with their owned address/span slices and
+	// pre-bound callbacks), keeping the steady-state program path
+	// allocation-free.
+	opPool sim.FreeList[dieOp]
 
 	// ONFI transport. Shared-bus: one server carries commands and data.
 	// Shared-control: cmdBus carries command/address cycles, wayBus[w]
@@ -122,7 +127,7 @@ func New(k *sim.Kernel, id int, cfg Config, geo nand.Geometry, tim nand.Timing,
 		}
 		ch.dies = append(ch.dies, die)
 	}
-	ch.dieQ = make([][]*dieOp, cfg.Dies())
+	ch.dieQ = make([]opQueue, cfg.Dies())
 	ch.dieBusy = make([]bool, cfg.Dies())
 	ch.cmdBus = sim.NewServer(k, nil, fmt.Sprintf("ch%d-onfi", id))
 	if cfg.Gang == SharedControl {
@@ -195,7 +200,8 @@ func (ch *Channel) checkDie(die int) error {
 // The stages pipeline across dies: PP-DMA fetch (AHB + DRAM), ONFI data-in,
 // array program.
 func (ch *Channel) Write(die int, addr nand.Addr, pageBytes int, done func()) error {
-	return ch.WriteMulti(die, []nand.Addr{addr}, pageBytes, done)
+	a := [1]nand.Addr{addr}
+	return ch.WriteMulti(die, a[:], pageBytes, done)
 }
 
 // dieOpKind labels per-die queued operations.
@@ -208,17 +214,164 @@ const (
 )
 
 // dieOp is one queued die command. Writes prefetch their data into the SRAM
-// cache while queued (dataReady); the die issues commands strictly in queue
+// cache while queued (fetched); the die issues commands strictly in queue
 // order, which is how the command translator preserves host/FTL ordering.
+// addrs and spans are owned by the op (copied from the caller at submit), so
+// ops recycle through the channel pool without aliasing caller storage; the
+// on* callbacks are bound once per op object and survive recycling.
 type dieOp struct {
+	ch  *Channel
+	die int
+
 	kind      dieOpKind
 	addrs     []nand.Addr
-	bytes     int64           // total payload bytes
-	fetched   bool            // write prefetch (DRAM+AHB) complete
-	prepped   bool            // write prep stage (e.g. ECC encode) complete
-	slotReady bool            // read SRAM slot reserved
-	span      *telemetry.Span // stage attribution target (reads; may be nil)
-	done      func()
+	bytes     int64 // total payload bytes
+	fetched   bool  // write prefetch (DRAM+AHB) complete
+	prepped   bool  // write prep stage (e.g. ECC encode) complete
+	slotReady bool  // read SRAM slot reserved
+
+	// Stage attribution targets: span for reads, spans for the batched
+	// program path (one per page; entries may be nil for spanless pages such
+	// as GC relocations riding a user batch). Both may be empty.
+	span  *telemetry.Span
+	spans []*telemetry.Span
+
+	done func()
+
+	// busStart/busEnd hold the granted ONFI window between the bus grant
+	// and the program issue event.
+	busStart, busEnd sim.Time
+
+	// Pre-bound callbacks (write path + prefetch + slot grant), created once
+	// per op object so the steady-state program path never allocates.
+	onPrepReady  func()
+	onSlotWrite  func()
+	onSlotRead   func()
+	onBufFetched func(start, end sim.Time)
+	onDMAFetched func(start, end sim.Time)
+	onBusGrant   func(start, end sim.Time)
+	onBusDone    func()
+	onProgDone   func()
+}
+
+// advance moves every attached span's watermark (nil entries skipped).
+func (op *dieOp) advance(st telemetry.Stage, now sim.Time) {
+	if op.span != nil {
+		op.span.Advance(st, now)
+	}
+	for _, sp := range op.spans {
+		if sp != nil {
+			sp.Advance(st, now)
+		}
+	}
+}
+
+// bind wires the op's reusable callbacks to its mutable fields.
+func (op *dieOp) bind() {
+	op.onPrepReady = func() {
+		// The prep stage is the write path's encode: charge the interval to
+		// the ECC stage for every page riding the batch.
+		op.advance(telemetry.StageECC, op.ch.k.Now())
+		op.prepped = true
+		op.ch.pump(op.die)
+	}
+	op.onSlotWrite = func() {
+		// Prefetch: DRAM read then AHB transfer into the SRAM cache.
+		off := int64(op.ch.ID) * op.bytes
+		op.ch.buf.Access(false, off, op.bytes, op.onBufFetched)
+	}
+	op.onBufFetched = func(_, _ sim.Time) {
+		if err := op.ch.ppDMA.Transfer(op.bytes, nil, op.onDMAFetched); err != nil {
+			panic(fmt.Sprintf("ctrl: DMA failed: %v", err))
+		}
+	}
+	op.onDMAFetched = func(_, _ sim.Time) {
+		op.fetched = true
+		op.ch.pump(op.die)
+	}
+	op.onSlotRead = func() {
+		op.slotReady = true
+		op.ch.pump(op.die)
+	}
+	op.onBusGrant = func(start, end sim.Time) {
+		op.busStart, op.busEnd = start, end
+		op.ch.k.At(end, op.onBusDone)
+	}
+	op.onBusDone = func() {
+		// Everything up to the bus grant was die-queue wait (channel stage);
+		// the granted window itself is ONFI occupancy (bus stage).
+		op.advance(telemetry.StageChan, op.busStart)
+		op.advance(telemetry.StageBus, op.busEnd)
+		_, err := op.ch.dies[op.die].MultiPlaneProgram(op.addrs, op.onProgDone)
+		if err != nil {
+			panic(fmt.Sprintf("ctrl: program failed on ch%d die%d %+v: %v",
+				op.ch.ID, op.die, op.addrs, err))
+		}
+	}
+	op.onProgDone = func() {
+		ch, die := op.ch, op.die
+		// The array time (tPROG) ends the page's flash interval.
+		op.advance(telemetry.StageNAND, ch.k.Now())
+		ch.Stats.PageWrites += uint64(len(op.addrs))
+		ch.Stats.BytesToNAND += uint64(op.bytes)
+		done := op.done
+		ch.cache.Release()
+		ch.release(die)
+		ch.putOp(op)
+		if done != nil {
+			done()
+		}
+	}
+}
+
+// getOp takes a pooled op (or builds one with its callbacks bound).
+func (ch *Channel) getOp() *dieOp {
+	if op := ch.opPool.Take(); op != nil {
+		return op
+	}
+	op := &dieOp{ch: ch}
+	op.bind()
+	return op
+}
+
+// putOp clears an op's per-command state (keeping its owned slices and bound
+// callbacks) and returns it to the pool.
+func (ch *Channel) putOp(op *dieOp) {
+	op.addrs = op.addrs[:0]
+	op.spans = op.spans[:0]
+	op.span = nil
+	op.done = nil
+	op.bytes = 0
+	op.fetched, op.prepped, op.slotReady = false, false, false
+	ch.opPool.Give(op)
+}
+
+// opQueue is a head-indexed FIFO of die commands: pop is O(1) and the slice
+// rewinds when drained, so a steady-state queue never reallocates.
+type opQueue struct {
+	q    []*dieOp
+	head int
+}
+
+// len reports queued ops.
+func (oq *opQueue) len() int { return len(oq.q) - oq.head }
+
+// push appends an op in command order.
+func (oq *opQueue) push(op *dieOp) { oq.q = append(oq.q, op) }
+
+// peek returns the head without removing it.
+func (oq *opQueue) peek() *dieOp { return oq.q[oq.head] }
+
+// pop removes and returns the head.
+func (oq *opQueue) pop() *dieOp {
+	op := oq.q[oq.head]
+	oq.q[oq.head] = nil
+	oq.head++
+	if oq.head == len(oq.q) {
+		oq.q = oq.q[:0]
+		oq.head = 0
+	}
+	return op
 }
 
 // writeReady reports whether a write op can issue to the die.
@@ -226,24 +379,24 @@ func (op *dieOp) writeReady() bool { return op.fetched && op.prepped }
 
 // enqueue appends an op in command order and pumps the die.
 func (ch *Channel) enqueue(die int, op *dieOp) {
-	ch.dieQ[die] = append(ch.dieQ[die], op)
+	ch.dieQ[die].push(op)
 	ch.pump(die)
 }
 
 // pump starts the head-of-queue operation of a die when the die interface is
 // free (and, for writes, the data prefetch has landed in the SRAM cache).
 func (ch *Channel) pump(die int) {
-	if ch.dieBusy[die] || len(ch.dieQ[die]) == 0 {
+	if ch.dieBusy[die] || ch.dieQ[die].len() == 0 {
 		return
 	}
-	op := ch.dieQ[die][0]
+	op := ch.dieQ[die].peek()
 	if op.kind == opWrite && !op.writeReady() {
 		return // prefetch/prep completion will re-pump
 	}
 	if op.kind == opRead && !op.slotReady {
 		return // SRAM slot grant will re-pump
 	}
-	ch.dieQ[die] = ch.dieQ[die][1:]
+	ch.dieQ[die].pop()
 	ch.dieBusy[die] = true
 	switch op.kind {
 	case opWrite:
@@ -262,25 +415,10 @@ func (ch *Channel) release(die int) {
 }
 
 func (ch *Channel) startWrite(die int, op *dieOp) {
-	// Command/address plus data-in cycles occupy the (gang-dependent) bus.
+	// Command/address plus data-in cycles occupy the (gang-dependent) bus;
+	// op.onBusDone issues the program at the end of the granted window.
 	busTime := sim.Time(len(op.addrs))*ch.tim.CommandOverhead() + ch.tim.DataTransferTime(int(op.bytes))
-	ch.dataBus(die).Acquire(busTime, func(_, end sim.Time) {
-		ch.k.At(end, func() {
-			_, err := ch.dies[die].MultiPlaneProgram(op.addrs, func() {
-				ch.Stats.PageWrites += uint64(len(op.addrs))
-				ch.Stats.BytesToNAND += uint64(op.bytes)
-				ch.cache.Release()
-				ch.release(die)
-				if op.done != nil {
-					op.done()
-				}
-			})
-			if err != nil {
-				panic(fmt.Sprintf("ctrl: program failed on ch%d die%d %+v: %v",
-					ch.ID, die, op.addrs, err))
-			}
-		})
-	})
+	ch.dataBus(die).Acquire(busTime, op.onBusGrant)
 }
 
 func (ch *Channel) startRead(die int, op *dieOp) {
@@ -301,8 +439,8 @@ func (ch *Channel) startRead(die int, op *dieOp) {
 			ch.dataBus(die).Acquire(ch.tim.DataTransferTime(int(op.bytes)), func(_, end sim.Time) {
 				ch.k.At(end, func() {
 					if op.span != nil {
-						// Data-out bus occupancy: channel stage.
-						op.span.Advance(telemetry.StageChan, end)
+						// Data-out occupancy: bus stage.
+						op.span.Advance(telemetry.StageBus, end)
 					}
 					ch.release(die)
 					// Stage 3: PP-DMA pushes to DRAM over the AHB.
@@ -314,9 +452,11 @@ func (ch *Channel) startRead(die int, op *dieOp) {
 							}
 							ch.Stats.PageReads++
 							ch.Stats.BytesFromNAND += uint64(op.bytes)
+							done := op.done
 							ch.cache.Release()
-							if op.done != nil {
-								op.done()
+							ch.putOp(op)
+							if done != nil {
+								done()
 							}
 						})
 					}); err != nil {
@@ -337,9 +477,11 @@ func (ch *Channel) startErase(die int, op *dieOp) {
 	ch.acquireCmd(func() {
 		_, err := ch.dies[die].EraseBlock(a.Plane, a.Block, func() {
 			ch.Stats.Erases++
+			done := op.done
 			ch.release(die)
-			if op.done != nil {
-				op.done()
+			ch.putOp(op)
+			if done != nil {
+				done()
 			}
 		})
 		if err != nil {
@@ -357,16 +499,24 @@ func (ch *Channel) startErase(die int, op *dieOp) {
 // earlier operations of the same die; the program itself issues in strict
 // command order.
 func (ch *Channel) WriteMulti(die int, addrs []nand.Addr, pageBytes int, done func()) error {
-	return ch.WriteMultiPrep(die, addrs, pageBytes, nil, done)
+	return ch.WriteMultiPrep(die, addrs, pageBytes, nil, nil, done)
 }
 
-// WriteMultiPrep is WriteMulti with an additional preparation stage (for
-// example an ECC encode on a shared engine): prep is started at enqueue time
-// and runs concurrently with the data prefetch; the program issues — in
-// strict command order — once both complete. Callers that need allocation
-// order to equal program order enqueue synchronously and push their
-// variable-latency stages into prep.
-func (ch *Channel) WriteMultiPrep(die int, addrs []nand.Addr, pageBytes int, prep func(ready func()), done func()) error {
+// WriteMultiPrep is WriteMulti with per-page stage attribution and an
+// additional preparation stage (for example an ECC encode on a shared
+// engine): prep is started at enqueue time and runs concurrently with the
+// data prefetch; the program issues — in strict command order — once both
+// complete. Callers that need allocation order to equal program order
+// enqueue synchronously and push their variable-latency stages into prep.
+//
+// spans carries one Span per page of the batch (nil entries, or a nil list,
+// skip attribution). A multi-plane batch may mix pages of several host
+// commands; each page keeps its own span, so the controller can split the
+// write interval per command: prep time goes to the ECC stage (prep is the
+// write path's encode), die-queue wait to the channel stage, the granted
+// ONFI window to the bus stage, and tPROG to the NAND stage. addrs and
+// spans are copied at call time — the caller may reuse its backing arrays.
+func (ch *Channel) WriteMultiPrep(die int, addrs []nand.Addr, pageBytes int, spans []*telemetry.Span, prep func(ready func()), done func()) error {
 	if err := ch.checkDie(die); err != nil {
 		return err
 	}
@@ -376,30 +526,26 @@ func (ch *Channel) WriteMultiPrep(die int, addrs []nand.Addr, pageBytes int, pre
 	if len(addrs) == 0 {
 		return errors.New("ctrl: empty address list")
 	}
-	total := int64(pageBytes) * int64(len(addrs))
-	op := &dieOp{kind: opWrite, addrs: addrs, bytes: total, done: done}
+	if len(spans) != 0 && len(spans) != len(addrs) {
+		return fmt.Errorf("ctrl: %d spans for %d addresses", len(spans), len(addrs))
+	}
+	op := ch.getOp()
+	op.kind = opWrite
+	op.die = die
+	op.addrs = append(op.addrs[:0], addrs...)
+	op.spans = append(op.spans[:0], spans...)
+	op.bytes = int64(pageBytes) * int64(len(addrs))
+	op.done = done
 	op.prepped = prep == nil
 	// Start prep before enqueueing the program: a prep stage may itself
 	// enqueue operations on this die (e.g. a GC source read), and those
 	// must precede the dependent program in the command queue.
 	if prep != nil {
-		prep(func() {
-			op.prepped = true
-			ch.pump(die)
-		})
+		prep(op.onPrepReady)
 	}
 	ch.enqueue(die, op)
 	// Prefetch: SRAM slot, DRAM read, AHB transfer; then mark data ready.
-	ch.cache.AcquireWhenFree(func() {
-		ch.buf.Access(false, int64(ch.ID)*total, total, func(_, _ sim.Time) {
-			if err := ch.ppDMA.Transfer(total, nil, func(_, _ sim.Time) {
-				op.fetched = true
-				ch.pump(die)
-			}); err != nil {
-				panic(fmt.Sprintf("ctrl: DMA failed: %v", err))
-			}
-		})
-	})
+	ch.cache.AcquireWhenFree(op.onSlotWrite)
 	return nil
 }
 
@@ -411,9 +557,9 @@ func (ch *Channel) Read(die int, addr nand.Addr, pageBytes int, done func()) err
 
 // ReadTraced is Read with per-stage latency attribution onto sp (nil skips
 // attribution). The controller knows the stage boundaries the caller cannot
-// see: die-queue wait and ONFI command/data cycles go to the channel stage,
-// the array sense to the NAND stage, and the PP-DMA push into the buffer to
-// the DRAM stage.
+// see: die-queue wait and ONFI command/address cycles go to the channel
+// stage, the array sense to the NAND stage, data-out cycles to the bus
+// stage, and the PP-DMA push into the buffer to the DRAM stage.
 func (ch *Channel) ReadTraced(die int, addr nand.Addr, pageBytes int, sp *telemetry.Span, done func()) error {
 	if err := ch.checkDie(die); err != nil {
 		return err
@@ -421,12 +567,15 @@ func (ch *Channel) ReadTraced(die int, addr nand.Addr, pageBytes int, sp *teleme
 	if pageBytes <= 0 {
 		return errors.New("ctrl: non-positive page size")
 	}
-	op := &dieOp{kind: opRead, addrs: []nand.Addr{addr}, bytes: int64(pageBytes), span: sp, done: done}
+	op := ch.getOp()
+	op.kind = opRead
+	op.die = die
+	op.addrs = append(op.addrs[:0], addr)
+	op.bytes = int64(pageBytes)
+	op.span = sp
+	op.done = done
 	ch.enqueue(die, op)
-	ch.cache.AcquireWhenFree(func() {
-		op.slotReady = true
-		ch.pump(die)
-	})
+	ch.cache.AcquireWhenFree(op.onSlotRead)
 	return nil
 }
 
@@ -435,7 +584,12 @@ func (ch *Channel) Erase(die, plane, block int, done func()) error {
 	if err := ch.checkDie(die); err != nil {
 		return err
 	}
-	ch.enqueue(die, &dieOp{kind: opErase, addrs: []nand.Addr{{Plane: plane, Block: block}}, done: done})
+	op := ch.getOp()
+	op.kind = opErase
+	op.die = die
+	op.addrs = append(op.addrs[:0], nand.Addr{Plane: plane, Block: block})
+	op.done = done
+	ch.enqueue(die, op)
 	return nil
 }
 

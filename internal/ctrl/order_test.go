@@ -19,7 +19,7 @@ func TestPrepStageDelaysProgram(t *testing.T) {
 		})
 	}
 	var die0End sim.Time
-	if err := r.ch.WriteMultiPrep(0, []nand.Addr{{Block: 0, Page: 0}}, 4096, prep, func() {
+	if err := r.ch.WriteMultiPrep(0, []nand.Addr{{Block: 0, Page: 0}}, 4096, nil, prep, func() {
 		die0End = r.k.Now()
 	}); err != nil {
 		t.Fatal(err)
@@ -55,7 +55,7 @@ func TestPrepMayEnqueueSameDieRead(t *testing.T) {
 			}
 		}
 		dst := nand.Addr{Plane: 0, Block: 1, Page: 0}
-		if err := r.ch.WriteMultiPrep(0, []nand.Addr{dst}, 4096, prep, func() {
+		if err := r.ch.WriteMultiPrep(0, []nand.Addr{dst}, 4096, nil, prep, func() {
 			done["copy"] = r.k.Now()
 		}); err != nil {
 			t.Error(err)

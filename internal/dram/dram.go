@@ -105,15 +105,21 @@ type Buffer struct {
 	busyUntil   sim.Time
 	nextRefresh sim.Time
 	queue       []*req
+	free        sim.FreeList[req] // recycled requests (hot-path allocation control)
 
 	Stats Stats
 }
 
+// req is one queued access. start/end hold the granted service window and
+// fire is the request's pre-bound completion callback, both filled at serve
+// time so pooled requests never need a fresh closure.
 type req struct {
-	write bool
-	addr  int64
-	bytes int64
-	done  func(start, end sim.Time)
+	write      bool
+	addr       int64
+	bytes      int64
+	done       func(start, end sim.Time)
+	start, end sim.Time
+	fire       func()
 }
 
 // New builds a buffer device.
@@ -149,9 +155,29 @@ func (b *Buffer) Access(write bool, addr int64, bytes int64, done func(start, en
 		return errors.New("dram: negative address")
 	}
 	addr %= b.cfg.CapacityBytes
-	b.queue = append(b.queue, &req{write: write, addr: addr, bytes: bytes, done: done})
+	r := b.allocReq()
+	r.write, r.addr, r.bytes, r.done = write, addr, bytes, done
+	b.queue = append(b.queue, r)
 	b.kick()
 	return nil
+}
+
+// allocReq takes a pooled request (or builds one with its fire callback).
+func (b *Buffer) allocReq() *req {
+	if r := b.free.Take(); r != nil {
+		return r
+	}
+	r := &req{}
+	r.fire = func() {
+		done, start, end := r.done, r.start, r.end
+		r.done = nil
+		b.free.Give(r)
+		if done != nil {
+			done(start, end)
+		}
+		b.kick()
+	}
+	return r
 }
 
 func (b *Buffer) kick() {
@@ -178,13 +204,8 @@ func (b *Buffer) kick() {
 		b.Stats.Reads++
 		b.Stats.BytesRead += uint64(r.bytes)
 	}
-	done := r.done
-	b.k.At(end, func() {
-		if done != nil {
-			done(start, end)
-		}
-		b.kick()
-	})
+	r.start, r.end = start, end
+	b.k.At(end, r.fire)
 }
 
 // serve computes the completion time of r starting at t, updating bank and

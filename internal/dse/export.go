@@ -15,8 +15,10 @@ import (
 // telemetry.Stages order) are appended programmatically so the header can
 // never drift from the stage set; per-tenant blocks are sized to the widest
 // tenant roster in the export, so every swept point carries per-tenant
-// p50/p99 and the fairness column.
-func buildCSVHeader(maxTenants int) []string {
+// p50/p99 and the fairness column; per-phase blocks (label, ops, mean/p99
+// and per-stage means) are sized to the longest phase profile, so
+// multi-phase sweeps export every phase's stage breakdown.
+func buildCSVHeader(maxTenants, maxPhases int) []string {
 	h := []string{
 		"index", "name", "channels", "ways", "dies_per_way", "ddr_buffers",
 		"host_if", "nand_profile", "ecc_scheme", "ftl_mode", "cache_policy",
@@ -41,6 +43,16 @@ func buildCSVHeader(maxTenants int) []string {
 				p+"mean_us", p+"p50_us", p+"p99_us", p+"slowdown")
 		}
 	}
+	for i := 0; i < maxPhases; i++ {
+		// ph<i>_index carries the phase's true scenario index: the profile
+		// ring keeps only the most recent phases, so slice position and
+		// phase number can diverge on very long chains.
+		p := fmt.Sprintf("ph%d_", i)
+		h = append(h, p+"index", p+"label", p+"recorded", p+"ops", p+"mean_us", p+"p99_us")
+		for _, st := range telemetry.Stages() {
+			h = append(h, p+st.String()+"_mean_us")
+		}
+	}
 	return h
 }
 
@@ -49,14 +61,17 @@ func buildCSVHeader(maxTenants int) []string {
 // per-tenant latency columns (one block per tenant slot, blank where a row
 // has fewer tenants).
 func WriteCSV(w io.Writer, evals []Eval) error {
-	maxTenants := 0
+	maxTenants, maxPhases := 0, 0
 	for _, ev := range evals {
 		if n := len(ev.Point.Tenants); n > maxTenants {
 			maxTenants = n
 		}
+		if n := len(ev.Result.Phases); n > maxPhases {
+			maxPhases = n
+		}
 	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(buildCSVHeader(maxTenants)); err != nil {
+	if err := cw.Write(buildCSVHeader(maxTenants, maxPhases)); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -122,6 +137,21 @@ func WriteCSV(w io.Writer, evals []Eval) error {
 				t := r.Tenants[i]
 				row = append(row, t.Name, t.Class, strconv.Itoa(t.Weight), f(t.MBps),
 					f(t.AllLat.MeanUS), f(t.AllLat.P50US), f(t.AllLat.P99US), f(t.Slowdown))
+			}
+		}
+		for i := 0; i < maxPhases; i++ {
+			if i >= len(r.Phases) {
+				row = append(row, "", "", "", "", "", "")
+				for range telemetry.Stages() {
+					row = append(row, "")
+				}
+				continue
+			}
+			ph := r.Phases[i]
+			row = append(row, strconv.Itoa(ph.Index), ph.Label, strconv.FormatBool(ph.Recorded),
+				strconv.FormatUint(ph.Ops, 10), f(ph.All.MeanUS), f(ph.All.P99US))
+			for _, st := range telemetry.Stages() {
+				row = append(row, f(ph.Stages.ByStage(st).MeanUS))
 			}
 		}
 		if err := cw.Write(row); err != nil {

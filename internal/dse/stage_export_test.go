@@ -88,6 +88,86 @@ func TestCSVStageColumnsFromRealSweep(t *testing.T) {
 	}
 }
 
+// TestCSVPhaseColumnsFromPhasedSweep: a multi-phase point must export one
+// per-phase block (label, ops, mean/p99, per-stage means), blank on
+// single-phase rows in the same table.
+func TestCSVPhaseColumnsFromPhasedSweep(t *testing.T) {
+	phased := Point{
+		Config: config.Default(),
+		Workload: workload.Spec{Phases: []workload.Spec{
+			{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 150, Seed: 7},
+			{Pattern: trace.SeqRead, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 100, Seed: 7, Record: true},
+		}},
+		Mode: core.ModeFull,
+	}
+	phased.Config.Name = "p0000"
+	plain := Point{
+		Config:   config.Default(),
+		Workload: workload.Spec{Pattern: trace.SeqRead, BlockSize: 4096, SpanBytes: 1 << 26, Requests: 100, Seed: 7},
+		Mode:     core.ModeFull,
+		Index:    1,
+	}
+	plain.Config.Name = "p0001"
+	evals, err := (&Runner{Workers: 1}).Run(t.Context(), []Point{phased, plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, evals); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := func(name string) int {
+		for i, h := range rows[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	if got := rows[1][col("ph0_ops")]; got != "150" {
+		t.Errorf("ph0_ops = %q, want 150", got)
+	}
+	if got := rows[1][col("ph0_index")]; got != "0" {
+		t.Errorf("ph0_index = %q, want 0", got)
+	}
+	if got := rows[1][col("ph1_index")]; got != "1" {
+		t.Errorf("ph1_index = %q, want 1", got)
+	}
+	if got := rows[1][col("ph1_recorded")]; got != "true" {
+		t.Errorf("ph1_recorded = %q", got)
+	}
+	if got := rows[1][col("ph0_recorded")]; got != "false" {
+		t.Errorf("ph0_recorded = %q", got)
+	}
+	if rows[1][col("ph0_label")] == "" {
+		t.Error("ph0_label empty")
+	}
+	for _, st := range telemetry.Stages() {
+		if _, err := strconv.ParseFloat(rows[1][col("ph0_"+st.String()+"_mean_us")], 64); err != nil {
+			t.Errorf("ph0_%v_mean_us not a float: %v", st, err)
+		}
+	}
+	// Per-phase stage means sum to the phase mean.
+	var sum float64
+	for _, st := range telemetry.Stages() {
+		v, _ := strconv.ParseFloat(rows[1][col("ph1_"+st.String()+"_mean_us")], 64)
+		sum += v
+	}
+	mean, _ := strconv.ParseFloat(rows[1][col("ph1_mean_us")], 64)
+	if math.Abs(sum-mean) > 0.05 {
+		t.Errorf("ph1 stage means sum %.3f != phase mean %.3f", sum, mean)
+	}
+	// The single-phase row leaves the phase block blank.
+	if got := rows[2][col("ph0_ops")]; got != "" {
+		t.Errorf("plain row ph0_ops = %q, want blank", got)
+	}
+}
+
 // TestStageObjectivesResolve: every per-stage tail objective parses and
 // reads its stage's value.
 func TestStageObjectivesResolve(t *testing.T) {

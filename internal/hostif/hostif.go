@@ -134,6 +134,7 @@ func (c Config) IdealMBps(blockBytes int64, write bool) float64 {
 type Command struct {
 	ID         int64
 	Queue      int // submission-queue (tenant) index; -1 on the single-stream path
+	Phase      int // workload phase the command was pulled in (0 outside phase chains)
 	Req        trace.Request
 	Record     bool           // pulled inside the measured window
 	Span       telemetry.Span // per-stage latency timeline (watermark attribution)
@@ -168,6 +169,7 @@ type Interface struct {
 	window *sim.TokenGate // command queue depth
 
 	stream      trace.Stream
+	phaseSrc    workload.PhaseAware // non-nil when the stream is phase-aware
 	handler     func(*Command)
 	onDrained   func()
 	nextID      int64
@@ -207,9 +209,11 @@ type Interface struct {
 
 	// lat collects per-op-class command latency (queued-to-completion, so
 	// open-loop runs see window-queueing delay) in fixed memory; stageRec
-	// aggregates the per-stage breakdown of the same commands.
-	lat      workload.Collector
-	stageRec telemetry.Recorder
+	// aggregates the per-stage breakdown of the same commands; phaseWins
+	// keeps the per-phase profiles that survive window resets.
+	lat       workload.Collector
+	stageRec  telemetry.Recorder
+	phaseWins []phaseWindow
 
 	// backlog watches open-loop arrival lag across the whole run (never
 	// reset at phase boundaries: saturation is a property of the scenario).
@@ -251,6 +255,9 @@ func (i *Interface) Run(stream trace.Stream, handler func(*Command), onDrained f
 	}
 	i.started = true
 	i.stream = stream
+	if pa, ok := stream.(workload.PhaseAware); ok {
+		i.phaseSrc = pa
+	}
 	i.handler = handler
 	i.onDrained = onDrained
 	i.pull()
@@ -274,6 +281,10 @@ func (i *Interface) pull() {
 	rec := true
 	if ra, ok := i.stream.(workload.RecordAware); ok {
 		rec = ra.Recording()
+	}
+	phase := 0
+	if i.phaseSrc != nil {
+		phase = i.phaseSrc.PhaseIndex()
 	}
 	if rec && !i.recording && i.recInit {
 		i.ResetMeasurement()
@@ -300,7 +311,7 @@ func (i *Interface) pull() {
 			if i.outstanding > i.Stats.QueuePeak {
 				i.Stats.QueuePeak = i.outstanding
 			}
-			i.submit(req, queued, rec, -1, i.winGen)
+			i.submit(req, queued, rec, -1, i.winGen, phase)
 			// Keep the window full: pull the next request immediately.
 			i.pull()
 		})
@@ -314,10 +325,11 @@ func (i *Interface) pull() {
 
 // submit models the command (and write-data) wire transfer, then hands the
 // command to the platform. queue is the submission-queue index (-1 on the
-// single-stream path) and winGen the measured-window generation of that
-// queue (or of the interface) at pull time.
-func (i *Interface) submit(req trace.Request, queued sim.Time, record bool, queue int, winGen uint32) {
-	cmd := &Command{ID: i.nextID, Queue: queue, Req: req, QueuedAt: queued, Record: record, winGen: winGen}
+// single-stream path), winGen the measured-window generation of that queue
+// (or of the interface) at pull time, and phase the workload phase the
+// request was pulled in.
+func (i *Interface) submit(req trace.Request, queued sim.Time, record bool, queue int, winGen uint32, phase int) {
+	cmd := &Command{ID: i.nextID, Queue: queue, Phase: phase, Req: req, QueuedAt: queued, Record: record, winGen: winGen}
 	cmd.Span.Start(queued)
 	// The window slot is granted: everything since the queue time was
 	// host-side queueing (window admission plus arrival backlog).
@@ -393,6 +405,17 @@ func (i *Interface) Complete(cmd *Command) {
 						i.lat.Record(cmd.Req.Op, end-cmd.QueuedAt)
 						i.stageRec.Observe(&cmd.Span)
 					}
+				}
+				// Phase profiles cover every command of a phased stream —
+				// unrecorded (precondition) phases and stale-window
+				// stragglers too. Phase-less streams skip the accounting:
+				// their lone profile would only be discarded.
+				if cmd.Queue >= 0 {
+					if qs := i.qs[cmd.Queue]; qs.phased {
+						qs.phaseWins = observePhase(qs.phaseWins, cmd, end)
+					}
+				} else if i.phaseSrc != nil {
+					i.phaseWins = observePhase(i.phaseWins, cmd, end)
 				}
 				i.outstanding--
 				if cmd.Queue >= 0 {

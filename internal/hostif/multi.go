@@ -29,6 +29,12 @@ type MultiSource interface {
 	// Recording reports whether queue q's most recently pulled request
 	// belongs to a measured phase.
 	Recording(q int) bool
+	// Phase reports which workload phase queue q's most recently pulled
+	// request belongs to (0 for phase-less streams).
+	Phase(q int) int
+	// Phased reports whether queue q's stream has phase structure at all;
+	// false lets the player skip per-phase accounting entirely.
+	Phased(q int) bool
 	// Pick chooses which queue to service among those with a pending head
 	// command. ready holds queue indices in ascending order and is never
 	// empty; the return value must be one of them.
@@ -43,6 +49,7 @@ type sqEntry struct {
 	queued sim.Time
 	record bool
 	winGen uint32
+	phase  int
 }
 
 // queueState is the per-submission-queue half of the multi-queue player:
@@ -50,8 +57,9 @@ type sqEntry struct {
 // measurement state (latency, stage breakdown, throughput anchors) that the
 // platform reads back per tenant after the run.
 type queueState struct {
-	name  string
-	depth int
+	name   string
+	depth  int
+	phased bool // stream has phase structure (gates per-phase accounting)
 
 	sq        []sqEntry
 	head      int // index of the SQ head (pop is O(1); slice resets when drained)
@@ -67,8 +75,9 @@ type queueState struct {
 	outstanding  int // dispatched, not yet completed
 	inflightPeak int // peak SQ + outstanding
 
-	lat      workload.Collector
-	stageRec telemetry.Recorder
+	lat       workload.Collector
+	stageRec  telemetry.Recorder
+	phaseWins []phaseWindow // per-phase profiles (survive window resets)
 
 	firstSubmit  sim.Time
 	lastComplete sim.Time
@@ -130,7 +139,7 @@ func (i *Interface) RunMulti(src MultiSource, handler func(*Command), onDrained 
 		if depth <= 0 || depth > i.cfg.QueueDepth {
 			depth = i.cfg.QueueDepth
 		}
-		i.qs[q] = &queueState{name: src.QueueName(q), depth: depth, recording: true}
+		i.qs[q] = &queueState{name: src.QueueName(q), depth: depth, recording: true, phased: src.Phased(q)}
 	}
 	for q := 0; q < n; q++ {
 		i.pullQueue(q)
@@ -154,6 +163,7 @@ func (i *Interface) pullQueue(q int) {
 		return
 	}
 	rec := i.mq.Recording(q)
+	phase := i.mq.Phase(q)
 	if rec && !qs.recording && qs.recInit {
 		i.resetQueueMeasurement(q)
 	}
@@ -169,7 +179,7 @@ func (i *Interface) pullQueue(q int) {
 			}
 			i.backlog.Observe(at.Microseconds(), lag.Microseconds())
 		}
-		qs.push(sqEntry{req: req, queued: queued, record: rec, winGen: qs.winGen})
+		qs.push(sqEntry{req: req, queued: queued, record: rec, winGen: qs.winGen, phase: phase})
 		i.dispatch()
 		if qs.ready()+qs.outstanding < qs.depth {
 			// Continue the pull chain through the event queue so a deep
@@ -235,7 +245,7 @@ func (i *Interface) dispatchGrant() {
 	if i.outstanding > i.Stats.QueuePeak {
 		i.Stats.QueuePeak = i.outstanding
 	}
-	i.submit(e.req, e.queued, e.record, q, e.winGen)
+	i.submit(e.req, e.queued, e.record, q, e.winGen, e.phase)
 	i.dispatch()
 }
 

@@ -33,6 +33,8 @@ func (s *stubSource) NumQueues() int         { return len(s.queues) }
 func (s *stubSource) QueueName(q int) string { return s.names[q] }
 func (s *stubSource) QueueDepth(q int) int   { return s.depths[q] }
 func (s *stubSource) Recording(q int) bool   { return true }
+func (s *stubSource) Phase(q int) int        { return 0 }
+func (s *stubSource) Phased(q int) bool      { return false }
 
 func (s *stubSource) Next(q int) (trace.Request, bool) {
 	if s.pos[q] >= len(s.queues[q]) {

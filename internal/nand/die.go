@@ -240,15 +240,18 @@ func (d *Die) MultiPlaneProgram(addrs []Addr, done func()) (sim.Time, error) {
 	if !d.Ready() {
 		return 0, ErrBusy
 	}
-	seen := make(map[int]bool, len(addrs))
-	for _, a := range addrs {
+	for i, a := range addrs {
 		if err := a.Check(d.geo); err != nil {
 			return 0, ErrBadAddress
 		}
-		if seen[a.Plane] {
-			return 0, ErrPlaneMismatch
+		// Plane distinctness checked pairwise: batches are at most
+		// PlanesPerDie long, so the quadratic scan is cheaper (and
+		// allocation-free) versus a map on this hot path.
+		for _, prev := range addrs[:i] {
+			if prev.Plane == a.Plane {
+				return 0, ErrPlaneMismatch
+			}
 		}
-		seen[a.Plane] = true
 		if a.Block != addrs[0].Block || a.Page != addrs[0].Page {
 			return 0, ErrPlaneMismatch
 		}

@@ -17,7 +17,7 @@ type Arbiter interface {
 func NewArbiter(p Policy, tenants []Tenant) Arbiter {
 	switch p {
 	case PolicyWRR:
-		w := &wrrArbiter{rr: roundRobin{last: -1}, credits: make([]int, len(tenants))}
+		w := &wrrArbiter{rr: roundRobin{last: -1}, b: newBurster(tenants), credits: make([]int, len(tenants))}
 		w.weights = make([]int, len(tenants))
 		w.urgent = make([]bool, len(tenants))
 		for i, t := range tenants {
@@ -26,14 +26,51 @@ func NewArbiter(p Policy, tenants []Tenant) Arbiter {
 		}
 		return w
 	case PolicyPrio:
-		pr := &prioArbiter{rr: roundRobin{last: -1}, class: make([]Class, len(tenants))}
+		pr := &prioArbiter{rr: roundRobin{last: -1}, b: newBurster(tenants), class: make([]Class, len(tenants))}
 		for i, t := range tenants {
 			pr.class[i] = t.Class
 		}
 		return pr
 	default:
-		return &rrArbiter{roundRobin{last: -1}}
+		return &rrArbiter{rr: roundRobin{last: -1}, b: newBurster(tenants)}
 	}
+}
+
+// burster grants each queue a consecutive-service burst (NVMe's Arbitration
+// Burst field): once a queue wins an arbitration, it keeps winning while it
+// stays in the candidate set, up to its burst length, before the rotation
+// resumes. A queue that leaves the candidate set mid-burst — drained,
+// outranked by a higher class, or (under WRR) out of credits — forfeits the
+// rest of its burst.
+type burster struct {
+	bursts []int // per-queue burst length (>= 1)
+	q      int   // queue currently bursting (-1 = none)
+	left   int   // grants left in the current burst
+}
+
+// newBurster reads each tenant's normalised burst.
+func newBurster(tenants []Tenant) burster {
+	b := burster{q: -1, bursts: make([]int, len(tenants))}
+	for i, t := range tenants {
+		b.bursts[i] = t.NormBurst()
+	}
+	return b
+}
+
+// pick serves the in-progress burst if its queue is still a candidate,
+// otherwise defers to inner and opens the winner's burst.
+func (b *burster) pick(candidates []int, inner func([]int) int) int {
+	if b.left > 0 {
+		for _, q := range candidates {
+			if q == b.q {
+				b.left--
+				return q
+			}
+		}
+	}
+	q := inner(candidates)
+	b.q, b.left = q, b.bursts[q]-1
+	return q
 }
 
 // roundRobin rotates over ready queue indices: the queue after the most
@@ -53,19 +90,27 @@ func (r *roundRobin) pick(ready []int) int {
 	return choice
 }
 
-// rrArbiter is plain NVMe round-robin arbitration.
-type rrArbiter struct{ rr roundRobin }
+// rrArbiter is plain NVMe round-robin arbitration (with per-queue
+// arbitration bursts).
+type rrArbiter struct {
+	rr roundRobin
+	b  burster
+}
 
-func (a *rrArbiter) Name() string        { return PolicyRR.String() }
-func (a *rrArbiter) Pick(ready []int) int { return a.rr.pick(ready) }
+func (a *rrArbiter) Name() string         { return PolicyRR.String() }
+func (a *rrArbiter) Pick(ready []int) int { return a.b.pick(ready, a.rr.pick) }
 
 // wrrArbiter is NVMe weighted round robin with an urgent class: urgent
 // queues are served strictly first (round-robin among themselves); the
 // remaining queues share service in proportion to their weights via a
 // credit scheme — each service consumes one credit, and when every ready
 // weighted queue is out of credits, all queues replenish to their weight.
+// Arbitration bursts apply within the stage that wins: an urgent arrival
+// preempts a weighted queue's burst, and a weighted burst is bounded by the
+// queue's remaining credits, so weights stay exact across burst sizes.
 type wrrArbiter struct {
 	rr      roundRobin
+	b       burster
 	weights []int
 	credits []int
 	urgent  []bool
@@ -85,7 +130,7 @@ func (a *wrrArbiter) Pick(ready []int) int {
 		}
 	}
 	if len(a.urgentBuf) > 0 {
-		return a.rr.pick(a.urgentBuf)
+		return a.b.pick(a.urgentBuf, a.rr.pick)
 	}
 	// Weighted classes: rotate among queues that still hold credits;
 	// replenish when the ready set is dry.
@@ -101,15 +146,17 @@ func (a *wrrArbiter) Pick(ready []int) int {
 		}
 		funded = a.weightedBuf
 	}
-	choice := a.rr.pick(funded)
+	choice := a.b.pick(funded, a.rr.pick)
 	a.credits[choice]--
 	return choice
 }
 
 // prioArbiter is strict priority: the highest ready class always wins,
-// round-robin within the class.
+// round-robin within the class. Arbitration bursts apply within a class; a
+// higher class becoming ready preempts a lower queue's burst.
 type prioArbiter struct {
 	rr    roundRobin
+	b     burster
 	class []Class
 
 	buf []int // reusable Pick scratch
@@ -130,5 +177,5 @@ func (a *prioArbiter) Pick(ready []int) int {
 			a.buf = append(a.buf, q)
 		}
 	}
-	return a.rr.pick(a.buf)
+	return a.b.pick(a.buf, a.rr.pick)
 }

@@ -1,0 +1,167 @@
+package nvme
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// burstTenants builds tenants with classes, weights and bursts.
+func burstTenants(classes []Class, weights, bursts []int) []Tenant {
+	ts := tenantsFor(classes, weights)
+	for i := range ts {
+		ts[i].Burst = bursts[i]
+	}
+	return ts
+}
+
+// TestArbitrationBurstOrder pins the service order of every policy with
+// per-tenant arbitration bursts: a granted queue keeps the grant for up to
+// its burst length before the rotation resumes; leaving the candidate set
+// (drained, outranked, or out of WRR credits) forfeits the rest.
+func TestArbitrationBurstOrder(t *testing.T) {
+	med := func(n int) []Class {
+		out := make([]Class, n)
+		for i := range out {
+			out[i] = ClassMedium
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		policy  Policy
+		classes []Class
+		weights []int
+		bursts  []int
+		ready   [][]int // per-pick ready set (repeats the last entry)
+		want    []int
+	}{
+		{
+			name:    "rr serves bursts before rotating",
+			policy:  PolicyRR,
+			classes: med(2),
+			weights: []int{1, 1},
+			bursts:  []int{3, 1},
+			ready:   [][]int{{0, 1}},
+			want:    []int{0, 0, 0, 1, 0, 0, 0, 1},
+		},
+		{
+			name:    "rr burst forfeits when the queue drains",
+			policy:  PolicyRR,
+			classes: med(2),
+			weights: []int{1, 1},
+			bursts:  []int{4, 1},
+			ready:   [][]int{{0, 1}, {1}, {0, 1}},
+			// Queue 0 opens a burst, drains, queue 1 is served; queue 0's
+			// return does NOT resume the forfeited burst mid-count: a fresh
+			// arbitration opens a fresh burst.
+			want: []int{0, 1, 0, 0, 0, 0, 1},
+		},
+		{
+			name:    "wrr burst bounded by credits keeps weights exact",
+			policy:  PolicyWRR,
+			classes: med(2),
+			weights: []int{2, 2},
+			bursts:  []int{8, 1},
+			ready:   [][]int{{0, 1}},
+			// Queue 0's burst of 8 cannot outlive its 2 credits per
+			// replenish cycle: service stays 2:2 per cycle.
+			want: []int{0, 0, 1, 1, 0, 0, 1, 1},
+		},
+		{
+			name:    "wrr urgent arrival preempts a weighted burst",
+			policy:  PolicyWRR,
+			classes: []Class{ClassMedium, ClassUrgent},
+			weights: []int{4, 1},
+			bursts:  []int{4, 1},
+			ready:   [][]int{{0}, {0}, {0, 1}, {0, 1}, {0}},
+			want:    []int{0, 0, 1, 1, 0},
+		},
+		{
+			name:    "prio higher class preempts a bursting lower class",
+			policy:  PolicyPrio,
+			classes: []Class{ClassLow, ClassHigh},
+			weights: []int{1, 1},
+			bursts:  []int{4, 2},
+			ready:   [][]int{{0}, {0}, {0, 1}, {0, 1}, {0}},
+			want:    []int{0, 0, 1, 1, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			arb := NewArbiter(tc.policy, burstTenants(tc.classes, tc.weights, tc.bursts))
+			got := make([]int, len(tc.want))
+			for i := range got {
+				ready := tc.ready[len(tc.ready)-1]
+				if i < len(tc.ready) {
+					ready = tc.ready[i]
+				}
+				got[i] = arb.Pick(ready)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("%s burst service order = %v, want %v", tc.policy, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestWRRBurstConvergesToWeights: bursts amortise grants but must not skew
+// long-run WRR shares.
+func TestWRRBurstConvergesToWeights(t *testing.T) {
+	weights := []int{1, 2, 4}
+	bursts := []int{4, 4, 4}
+	arb := NewArbiter(PolicyWRR, burstTenants([]Class{ClassMedium, ClassMedium, ClassMedium}, weights, bursts))
+	counts := make([]int, len(weights))
+	const rounds = 7 * 100
+	for i := 0; i < rounds; i++ {
+		counts[arb.Pick([]int{0, 1, 2})]++
+	}
+	for i, w := range weights {
+		want := rounds * w / 7
+		if counts[i] != want {
+			t.Errorf("queue %d served %d times, want %d (weights %v bursts %v)", i, counts[i], want, weights, bursts)
+		}
+	}
+}
+
+// TestParseTenantsBurst covers the !burst header modifier and its
+// round-trip through FormatTenants.
+func TestParseTenantsBurst(t *testing.T) {
+	base := workload.Spec{BlockSize: 4096, SpanBytes: 1 << 26, Seed: 7}
+	set, err := ParseTenants("noisy@low*4#8!16:1000xSW | victim@high:500xRR", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := set.Tenants[0]
+	if n.Class != ClassLow || n.Weight != 4 || n.Depth != 8 || n.Burst != 16 {
+		t.Fatalf("tenant header parsed wrong: %+v", n)
+	}
+	if set.Tenants[1].NormBurst() != 1 {
+		t.Fatalf("default burst = %d, want 1", set.Tenants[1].NormBurst())
+	}
+	// Round trip: format -> parse -> format is a fixed point.
+	s1 := FormatTenants(set)
+	set2, err := ParseTenants(s1, base)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s1, err)
+	}
+	if s2 := FormatTenants(set2); s2 != s1 {
+		t.Errorf("round trip drifted:\n%s\n%s", s1, s2)
+	}
+	if set2.Tenants[0].Burst != 16 {
+		t.Errorf("burst lost in round trip: %+v", set2.Tenants[0])
+	}
+	// Order-independence and rejects.
+	if ts, err := ParseTenants("a!2@urgent:100xSW", base); err != nil || ts.Tenants[0].Burst != 2 || ts.Tenants[0].Class != ClassUrgent {
+		t.Errorf("modifier order: %+v %v", ts, err)
+	}
+	for _, bad := range []string{"a!0:100xSW", "a!x:100xSW", "a!-1:100xSW", "a!:100xSW"} {
+		if _, err := ParseTenants(bad, base); err == nil {
+			t.Errorf("bad burst %q accepted", bad)
+		}
+	}
+	if err := (TenantSet{Tenants: []Tenant{{Name: "a", Burst: -1, Workload: base}}}).Validate(); err == nil {
+		t.Error("negative burst passed validation")
+	}
+}

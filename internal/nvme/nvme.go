@@ -117,6 +117,13 @@ type Tenant struct {
 	// Depth bounds the tenant's outstanding commands (submission-queue
 	// entries plus in-flight). 0 defers to the host interface's window.
 	Depth int `json:"depth,omitempty"`
+	// Burst is the arbitration burst (NVMe's Arbitration Burst field): how
+	// many consecutive commands the arbiter may take from this queue per
+	// grant before rotating, modelling controllers that amortise
+	// doorbell/fetch costs. 0 or 1 = one command per grant (the strict
+	// round-robin baseline). Under WRR a burst never outlives the queue's
+	// credits, so weights stay exact.
+	Burst int `json:"burst,omitempty"`
 	// Workload is the request stream the queue submits. Addresses are
 	// namespace-relative; the compiled queue offsets them into the
 	// tenant's partition.
@@ -133,6 +140,15 @@ func (t Tenant) NormWeight() int {
 
 // weight is the internal alias.
 func (t Tenant) weight() int { return t.NormWeight() }
+
+// NormBurst returns the normalised arbitration burst (a zero Burst counts
+// as 1).
+func (t Tenant) NormBurst() int {
+	if t.Burst < 1 {
+		return 1
+	}
+	return t.Burst
+}
 
 // NSBytes returns the tenant's namespace size: the widest span any of its
 // phases addresses.
@@ -166,6 +182,9 @@ func (t Tenant) Describe() string {
 	if t.Depth > 0 {
 		b += fmt.Sprintf("#%d", t.Depth)
 	}
+	if t.NormBurst() != 1 {
+		b += fmt.Sprintf("!%d", t.NormBurst())
+	}
 	return b
 }
 
@@ -189,7 +208,7 @@ func (s TenantSet) Validate() error {
 		if t.Name == "" {
 			return fmt.Errorf("nvme: tenant %d has no name", i)
 		}
-		if strings.ContainsAny(t.Name, "|:@*#,;= \t") {
+		if strings.ContainsAny(t.Name, "|:@*#!,;= \t") {
 			return fmt.Errorf("nvme: tenant name %q contains reserved characters", t.Name)
 		}
 		if seen[t.Name] {
@@ -201,6 +220,9 @@ func (s TenantSet) Validate() error {
 		}
 		if t.Depth < 0 {
 			return fmt.Errorf("nvme: tenant %q depth %d must be >= 0", t.Name, t.Depth)
+		}
+		if t.Burst < 0 {
+			return fmt.Errorf("nvme: tenant %q burst %d must be >= 0", t.Name, t.Burst)
 		}
 		if t.Class >= numClasses {
 			return fmt.Errorf("nvme: tenant %q has unknown class %d", t.Name, t.Class)
@@ -342,7 +364,7 @@ func (s TenantSet) Canonical() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "tenantset: policy=%d n=%d\n", s.Policy, len(s.Tenants))
 	for _, t := range s.Tenants {
-		fmt.Fprintf(&b, "tenant: %q weight=%d class=%d depth=%d\n", t.Name, t.weight(), t.Class, t.Depth)
+		fmt.Fprintf(&b, "tenant: %q weight=%d class=%d depth=%d burst=%d\n", t.Name, t.weight(), t.Class, t.Depth, t.NormBurst())
 		b.WriteString(t.Workload.Canonical())
 	}
 	return b.String()

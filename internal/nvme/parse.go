@@ -16,10 +16,11 @@ import (
 //
 // where header is
 //
-//	<name>[@<class>][*<weight>][#<depth>]
+//	<name>[@<class>][*<weight>][#<depth>][!<burst>]
 //
 // (class: low, medium, high, urgent; weight: WRR share >= 1; depth: max
-// outstanding commands for the queue) and phases is a workload phase spec
+// outstanding commands for the queue; burst: NVMe arbitration burst — how
+// many consecutive commands one grant may take) and phases is a workload phase spec
 // exactly as accepted by workload.ParsePhases — semicolon-separated
 // "<requests>x<pattern>[,option...]" fields with block/span/mix/skew/
 // arrival/seed/record options. base supplies the block, span and seed
@@ -49,7 +50,7 @@ func ParseTenants(s string, base workload.Spec) (TenantSet, error) {
 func parseTenant(field string, base workload.Spec) (Tenant, error) {
 	colon := strings.IndexByte(field, ':')
 	if colon <= 0 || colon == len(field)-1 {
-		return Tenant{}, fmt.Errorf("want <name>[@class][*weight][#depth]:<phases>, got %q", field)
+		return Tenant{}, fmt.Errorf("want <name>[@class][*weight][#depth][!burst]:<phases>, got %q", field)
 	}
 	t, err := parseHeader(field[:colon])
 	if err != nil {
@@ -68,13 +69,13 @@ func parseTenant(field string, base workload.Spec) (Tenant, error) {
 	return t, nil
 }
 
-// parseHeader decodes "<name>[@class][*weight][#depth]" (modifiers in any
-// order).
+// parseHeader decodes "<name>[@class][*weight][#depth][!burst]" (modifiers
+// in any order).
 func parseHeader(h string) (Tenant, error) {
 	h = strings.TrimSpace(h)
 	cut := len(h)
 	for i, r := range h {
-		if r == '@' || r == '*' || r == '#' {
+		if r == '@' || r == '*' || r == '#' || r == '!' {
 			cut = i
 			break
 		}
@@ -87,7 +88,7 @@ func parseHeader(h string) (Tenant, error) {
 	for rest != "" {
 		kind := rest[0]
 		end := 1
-		for end < len(rest) && rest[end] != '@' && rest[end] != '*' && rest[end] != '#' {
+		for end < len(rest) && rest[end] != '@' && rest[end] != '*' && rest[end] != '#' && rest[end] != '!' {
 			end++
 		}
 		val := rest[1:end]
@@ -111,6 +112,12 @@ func parseHeader(h string) (Tenant, error) {
 				return Tenant{}, fmt.Errorf("bad depth %q in tenant header %q", val, h)
 			}
 			t.Depth = n
+		case '!':
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Tenant{}, fmt.Errorf("bad burst %q in tenant header %q", val, h)
+			}
+			t.Burst = n
 		}
 	}
 	return t, nil

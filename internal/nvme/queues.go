@@ -13,11 +13,12 @@ import (
 // depths, a Pick decision at every dispatch), so the multi-queue trace
 // player can drive it without knowing about tenants.
 type Queues struct {
-	set   TenantSet
-	arb   Arbiter
-	gens  []workload.Generator
-	recs  []workload.RecordAware // non-nil where the generator is phase-aware
-	bases []int64                // namespace base offsets, sectors
+	set    TenantSet
+	arb    Arbiter
+	gens   []workload.Generator
+	recs   []workload.RecordAware // non-nil where the generator is record-aware
+	phases []workload.PhaseAware  // non-nil where the generator is phase-aware
+	bases  []int64                // namespace base offsets, sectors
 }
 
 // Compile builds the live queue set: validates, lays out namespaces, and
@@ -27,11 +28,12 @@ func (s TenantSet) Compile() (*Queues, error) {
 		return nil, err
 	}
 	q := &Queues{
-		set:   s,
-		arb:   NewArbiter(s.Policy, s.Tenants),
-		gens:  make([]workload.Generator, len(s.Tenants)),
-		recs:  make([]workload.RecordAware, len(s.Tenants)),
-		bases: s.Layout(),
+		set:    s,
+		arb:    NewArbiter(s.Policy, s.Tenants),
+		gens:   make([]workload.Generator, len(s.Tenants)),
+		recs:   make([]workload.RecordAware, len(s.Tenants)),
+		phases: make([]workload.PhaseAware, len(s.Tenants)),
+		bases:  s.Layout(),
 	}
 	for i, t := range s.Tenants {
 		g, err := t.Workload.Generator()
@@ -42,6 +44,9 @@ func (s TenantSet) Compile() (*Queues, error) {
 		q.gens[i] = g
 		if ra, ok := g.(workload.RecordAware); ok {
 			q.recs[i] = ra
+		}
+		if pa, ok := g.(workload.PhaseAware); ok {
+			q.phases[i] = pa
 		}
 	}
 	return q, nil
@@ -78,6 +83,19 @@ func (q *Queues) Recording(i int) bool {
 	}
 	return q.recs[i].Recording()
 }
+
+// Phase implements hostif.MultiSource: which workload phase queue i's most
+// recently pulled request belongs to.
+func (q *Queues) Phase(i int) int {
+	if q.phases[i] == nil {
+		return 0
+	}
+	return q.phases[i].PhaseIndex()
+}
+
+// Phased implements hostif.MultiSource: whether queue i's generator has
+// phase structure.
+func (q *Queues) Phased(i int) bool { return q.phases[i] != nil }
 
 // Pick implements hostif.MultiSource by delegating to the arbiter.
 func (q *Queues) Pick(ready []int) int { return q.arb.Pick(ready) }

@@ -125,7 +125,7 @@ type Kernel struct {
 	// free pools fired/cancelled events for reuse. A simulation schedules
 	// millions of events but only ever has O(in-flight) pending, so the
 	// pool drops allocation pressure to near zero in steady state.
-	free []*event
+	free FreeList[event]
 
 	// Executed counts delivered events; used by the simulation-speed
 	// experiment (Fig. 6) and by sanity limits in tests.
@@ -167,10 +167,7 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 
 // alloc takes an event from the free list, or allocates a fresh one.
 func (k *Kernel) alloc() *event {
-	if n := len(k.free); n > 0 {
-		e := k.free[n-1]
-		k.free[n-1] = nil
-		k.free = k.free[:n-1]
+	if e := k.free.Take(); e != nil {
 		return e
 	}
 	return &event{}
@@ -182,7 +179,7 @@ func (k *Kernel) recycle(e *event) {
 	e.gen++
 	e.fn = nil
 	e.index = -1
-	k.free = append(k.free, e)
+	k.free.Give(e)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or already-

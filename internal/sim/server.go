@@ -13,6 +13,12 @@ type Server struct {
 	busyUntil Time
 	queue     []*serverReq
 
+	// free pools served requests (with their pre-bound fire callbacks) for
+	// reuse, and kickFn is the shared completion callback — together they
+	// keep the steady-state acquire path allocation-free.
+	free   FreeList[serverReq]
+	kickFn func()
+
 	// Stats
 	Served    uint64
 	BusyTime  Time
@@ -20,16 +26,23 @@ type Server struct {
 	QueuePeak int
 }
 
+// serverReq is one queued acquisition. start/end hold the granted service
+// window and fire is the request's pre-bound delivery callback, both filled
+// at grant time so a pooled request never needs a fresh closure.
 type serverReq struct {
-	dur  Time
-	fn   func(start, end Time)
-	prio int
+	dur        Time
+	fn         func(start, end Time)
+	prio       int
+	start, end Time
+	fire       func()
 }
 
 // NewServer builds a server bound to kernel k. clock may be nil for an
 // unclocked (purely latency-based) resource.
 func NewServer(k *Kernel, clock *Clock, name string) *Server {
-	return &Server{k: k, clock: clock, name: name}
+	s := &Server{k: k, clock: clock, name: name}
+	s.kickFn = s.kick
+	return s
 }
 
 // Name returns the server's diagnostic name.
@@ -48,7 +61,8 @@ func (s *Server) AcquirePrio(prio int, dur Time, fn func(start, end Time)) {
 	if dur < 0 {
 		dur = 0
 	}
-	req := &serverReq{dur: dur, fn: fn, prio: prio}
+	req := s.allocReq()
+	req.dur, req.fn, req.prio = dur, fn, prio
 	// Insert keeping FIFO within priority class.
 	idx := len(s.queue)
 	for i, q := range s.queue {
@@ -89,12 +103,24 @@ func (s *Server) kick() {
 	s.busyUntil = end
 	s.Served++
 	s.BusyTime += end - start
-	s.k.At(start, func() {
-		req.fn(start, end)
-	})
-	s.k.At(end, func() {
-		s.kick()
-	})
+	req.start, req.end = start, end
+	s.k.At(start, req.fire)
+	s.k.At(end, s.kickFn)
+}
+
+// allocReq takes a pooled request (or builds one with its fire callback).
+func (s *Server) allocReq() *serverReq {
+	if req := s.free.Take(); req != nil {
+		return req
+	}
+	req := &serverReq{}
+	req.fire = func() {
+		fn, start, end := req.fn, req.start, req.end
+		req.fn = nil
+		s.free.Give(req)
+		fn(start, end)
+	}
+	return req
 }
 
 // Busy reports whether the server is occupied at the current time.

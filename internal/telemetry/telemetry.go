@@ -35,18 +35,23 @@ const (
 	// StageDRAM is AHB interconnect plus DDR buffer transfer time on the
 	// command's critical path (host DMA in/out of the buffers).
 	StageDRAM
-	// StageChan is channel-controller occupancy: per-die command queueing,
-	// ONFI command/address cycles and data-out bus cycles. (Write-path
-	// controller time is folded into StageNAND: multi-plane batches mix
-	// pages of several commands, so it cannot be attributed per command.)
+	// StageChan is channel-controller occupancy excluding data cycles:
+	// per-die command queueing (reads and writes alike — multi-plane program
+	// batches carry per-page span lists, so even pages of different commands
+	// batched together keep their own attribution), command/address cycles on
+	// the read path, and multi-plane batch-accumulation wait on the write
+	// path.
 	StageChan
+	// StageBus is ONFI data-bus occupancy on the critical path: data-out
+	// cycles of a read, command/address plus data-in cycles of a batched
+	// program.
+	StageBus
 	// StageNAND is NAND array time (tR/tPROG) on the critical path. For
 	// writes it also covers write-cache admission backpressure — time a
-	// command spends waiting for the flash drain to free dirty-page slots —
-	// and, in the batched program path, ONFI bus and ECC encode time.
+	// command spends waiting for the flash drain to free dirty-page slots.
 	StageNAND
-	// StageECC is ECC decode time on the read critical path (encode rides
-	// the write batch prep, see StageNAND).
+	// StageECC is ECC engine time on the critical path: decode on the read
+	// path, encode (the write batch's prep stage) on the program path.
 	StageECC
 
 	// NumStages is the number of pipeline stages.
@@ -54,7 +59,7 @@ const (
 )
 
 // stageNames indexes Stage.String.
-var stageNames = [NumStages]string{"queued", "wire", "cpu", "dram", "chan", "nand", "ecc"}
+var stageNames = [NumStages]string{"queued", "wire", "cpu", "dram", "chan", "bus", "nand", "ecc"}
 
 // String names the stage (stable: used as CSV column prefixes).
 func (s Stage) String() string {
@@ -162,6 +167,7 @@ type Breakdown struct {
 	CPU    workload.LatStats `json:"cpu"`
 	DRAM   workload.LatStats `json:"dram"`
 	Chan   workload.LatStats `json:"chan"`
+	Bus    workload.LatStats `json:"bus"`
 	NAND   workload.LatStats `json:"nand"`
 	ECC    workload.LatStats `json:"ecc"`
 }
@@ -179,6 +185,8 @@ func (b *Breakdown) set(st Stage, s workload.LatStats) {
 		b.DRAM = s
 	case StageChan:
 		b.Chan = s
+	case StageBus:
+		b.Bus = s
 	case StageNAND:
 		b.NAND = s
 	case StageECC:
@@ -199,6 +207,8 @@ func (b Breakdown) ByStage(st Stage) workload.LatStats {
 		return b.DRAM
 	case StageChan:
 		return b.Chan
+	case StageBus:
+		return b.Bus
 	case StageNAND:
 		return b.NAND
 	case StageECC:
@@ -215,4 +225,27 @@ func (b Breakdown) SumMeanUS() float64 {
 		sum += b.ByStage(st).MeanUS
 	}
 	return sum
+}
+
+// PhaseProfile is one workload phase's share of a run: its end-to-end
+// latency distribution and stage breakdown, kept even for unrecorded
+// (precondition) phases. The measured-window machinery still resets the
+// headline figures at window boundaries; phase profiles exist so a
+// multi-phase scenario reports every phase's stage breakdown instead of
+// only the last window's.
+type PhaseProfile struct {
+	// Index is the phase's position in the scenario (0-based).
+	Index int `json:"index"`
+	// Label is a compact description of the phase's workload, filled in by
+	// the layer that knows the scenario (empty below it).
+	Label string `json:"label,omitempty"`
+	// Recorded reports whether the phase belonged to the measured window.
+	Recorded bool `json:"recorded"`
+	// Ops counts the phase's completed commands.
+	Ops uint64 `json:"ops"`
+	// All is the phase's end-to-end command latency distribution.
+	All workload.LatStats `json:"all_lat"`
+	// Stages attributes the same commands' latency to pipeline stages; the
+	// stage means sum to All.MeanUS exactly as in the window breakdown.
+	Stages Breakdown `json:"stages"`
 }

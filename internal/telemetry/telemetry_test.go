@@ -8,7 +8,7 @@ import (
 )
 
 func TestStageNames(t *testing.T) {
-	want := []string{"queued", "wire", "cpu", "dram", "chan", "nand", "ecc"}
+	want := []string{"queued", "wire", "cpu", "dram", "chan", "bus", "nand", "ecc"}
 	for i, st := range Stages() {
 		if st.String() != want[i] {
 			t.Errorf("stage %d = %q, want %q", i, st.String(), want[i])

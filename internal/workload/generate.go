@@ -42,7 +42,12 @@ func (s Spec) Generator() (Generator, error) {
 				recs[i] = true
 			}
 		}
-		return &phased{gens: gens, recs: recs, curRec: true}, nil
+		// Phase chains classify their own stream: the platform re-resolves
+		// the WAF abstraction from the trailing write window exactly as it
+		// does for trace replay, so a seq-fill -> random-overwrite scenario
+		// sees its amplification shift mid-run instead of being pinned at
+		// scenario level.
+		return &phased{gens: gens, recs: recs, curRec: true, cls: NewClassifier(0)}, nil
 	}
 	if s.TracePath != "" {
 		return OpenReplay(s.TracePath)
@@ -280,10 +285,12 @@ type phased struct {
 	gens     []Generator
 	recs     []bool // per-phase record flag (all true when none was set)
 	curRec   bool   // record flag of the phase of the last returned request
+	curIdx   int    // phase index of the last returned request
 	idx      int
 	baseUS   float64        // accumulated arrival offset from completed phases
 	phaseMax float64        // max raw arrival seen in the current phase
 	nowUS    func() float64 // simulation clock; nil outside a platform run
+	cls      *Classifier    // live windowed classification of the whole chain
 }
 
 // SetClock implements Clocked.
@@ -293,17 +300,29 @@ func (p *phased) SetClock(now func() float64) { p.nowUS = now }
 // Next belongs to a measured phase.
 func (p *phased) Recording() bool { return p.curRec }
 
+// PhaseIndex implements PhaseAware: the phase of the last returned request.
+func (p *phased) PhaseIndex() int { return p.curIdx }
+
+// Classification implements Classifying: the live windowed classification of
+// the portion of the phase chain generated so far, so the platform can adapt
+// the WAF abstraction across phase boundaries exactly as it does for replay.
+func (p *phased) Classification() *Classifier { return p.cls }
+
 // Next implements Generator.
 func (p *phased) Next() (trace.Request, bool) {
 	for p.idx < len(p.gens) {
 		req, ok := p.gens[p.idx].Next()
 		if ok {
 			p.curRec = p.recs[p.idx]
+			p.curIdx = p.idx
 			if req.ArrivalUS > p.phaseMax {
 				p.phaseMax = req.ArrivalUS
 			}
 			if req.ArrivalUS > 0 {
 				req.ArrivalUS += p.baseUS
+			}
+			if p.cls != nil {
+				p.cls.Observe(req)
 			}
 			return req, true
 		}
@@ -333,9 +352,13 @@ func (p *phased) Reset() {
 		g.Reset()
 	}
 	p.idx = 0
+	p.curIdx = 0
 	p.curRec = true
 	p.baseUS = 0
 	p.phaseMax = 0
+	if p.cls != nil {
+		p.cls.Reset()
+	}
 }
 
 // Close releases any replay phases.

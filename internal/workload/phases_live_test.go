@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestPhasedPhaseIndex: the phased generator reports the phase of the last
+// returned request, and rewinds on Reset.
+func TestPhasedPhaseIndex(t *testing.T) {
+	spec := Spec{Phases: []Spec{
+		{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 3, Seed: 1},
+		{Pattern: trace.SeqRead, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 2, Seed: 1},
+	}}
+	g, err := spec.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, ok := g.(PhaseAware)
+	if !ok {
+		t.Fatal("phased generator is not PhaseAware")
+	}
+	want := []int{0, 0, 0, 1, 1}
+	for i, w := range want {
+		if _, ok := g.Next(); !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if got := pa.PhaseIndex(); got != w {
+			t.Errorf("request %d phase = %d, want %d", i, got, w)
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("stream too long")
+	}
+	g.Reset()
+	if _, ok := g.Next(); !ok || pa.PhaseIndex() != 0 {
+		t.Errorf("after Reset, phase = %d, want 0", pa.PhaseIndex())
+	}
+	// Non-phased generators do not claim phase awareness.
+	plain, err := Spec{Pattern: trace.SeqRead, BlockSize: 4096, SpanBytes: 1 << 20, Requests: 2, Seed: 1}.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.(PhaseAware); ok {
+		t.Error("plain synthetic generator claims PhaseAware")
+	}
+}
+
+// TestPhasedLiveClassification: a phase chain exposes a live windowed
+// classifier, and a seq-fill -> random-overwrite chain flips the windowed
+// regime mid-stream — the hook the platform uses to adapt the WAF model.
+func TestPhasedLiveClassification(t *testing.T) {
+	const fill, overwrite = 2048, 2048
+	spec := Spec{Phases: []Spec{
+		{Pattern: trace.SeqWrite, BlockSize: 4096, SpanBytes: 1 << 24, Requests: fill, Seed: 1},
+		{Pattern: trace.RandWrite, BlockSize: 4096, SpanBytes: 1 << 24, Requests: overwrite, Seed: 1},
+	}}
+	g, err := spec.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, ok := g.(Classifying)
+	if !ok {
+		t.Fatal("phased generator is not Classifying")
+	}
+	cls := cg.Classification()
+	// Drain the fill phase: the trailing window must classify sequential.
+	for i := 0; i < fill; i++ {
+		if _, ok := g.Next(); !ok {
+			t.Fatalf("stream ended during fill at %d", i)
+		}
+	}
+	if !cls.Confident() || cls.RandomWrites() {
+		t.Fatalf("after seq fill: confident=%v random=%v, want true/false", cls.Confident(), cls.RandomWrites())
+	}
+	// Drain the overwrite phase: the window must flip to random.
+	for i := 0; i < overwrite; i++ {
+		if _, ok := g.Next(); !ok {
+			t.Fatalf("stream ended during overwrite at %d", i)
+		}
+	}
+	if !cls.RandomWrites() {
+		t.Fatal("after random overwrite the trailing window still classifies sequential")
+	}
+	// Reset rewinds the classification with the stream.
+	g.Reset()
+	if cls := cg.Classification(); cls.Info().Writes != 0 {
+		t.Errorf("classifier not reset: %+v", cls.Info())
+	}
+}

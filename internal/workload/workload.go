@@ -268,6 +268,15 @@ type RecordAware interface {
 	Recording() bool
 }
 
+// PhaseAware generators expose which phase the most recently generated
+// request belongs to (0-based, monotonic). The host interface's trace player
+// uses it to keep a per-phase latency/stage profile alongside the measured
+// window; generators without phase structure do not implement it and the
+// whole stream counts as phase 0.
+type PhaseAware interface {
+	PhaseIndex() int
+}
+
 // DefaultBlockSize is the 4 KB payload used throughout the paper.
 const DefaultBlockSize = trace.DefaultBlockSize
 

@@ -60,6 +60,11 @@ type StageBreakdown = telemetry.Breakdown
 // Stage identifies one pipeline stage of a StageBreakdown.
 type Stage = telemetry.Stage
 
+// PhaseProfile is one workload phase's latency/stage profile in a Result —
+// kept for every phase (preconditions included), so multi-phase scenarios
+// report each phase's stage breakdown, not only the last measured window's.
+type PhaseProfile = telemetry.PhaseProfile
+
 // Stages lists every pipeline stage in order (for iterating a
 // StageBreakdown via ByStage).
 func Stages() []Stage { return telemetry.Stages() }
@@ -331,4 +336,4 @@ func Explore(ctx context.Context, s Space, workers int) ([]Eval, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.4.0"
+const Version = "1.5.0"
