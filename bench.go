@@ -1,0 +1,129 @@
+package ssdx
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchSchema identifies the machine-readable simulator-speed report format
+// emitted by cmd/simspeed -json and committed as BENCH_simspeed.json. Bump
+// the version when the JSON shape changes incompatibly.
+const BenchSchema = "ssdx-bench/v1"
+
+// BenchReport is one simulator performance measurement: the Fig. 6
+// simulation-speed rows (KCPS, kernel events/sec, simulated span) plus
+// enough host context to judge whether two reports are comparable at all.
+// CI compares a fresh report against the committed baseline to catch
+// order-of-magnitude simulator slowdowns without chasing host noise.
+type BenchReport struct {
+	Schema  string     `json:"schema"`
+	Version string     `json:"version"`        // ssdx release that produced it
+	Date    string     `json:"date,omitempty"` // RFC 3339, informational only
+	Scale   float64    `json:"scale"`          // request-count scale fed to SimulationSpeed
+	GoOS    string     `json:"goos"`
+	GoArch  string     `json:"goarch"`
+	CPUs    int        `json:"cpus"`
+	Rows    []SpeedRow `json:"rows"`
+}
+
+// MeasureBench runs the simulation-speed experiment (sequentially, uncached)
+// and packages it as a bench report.
+func MeasureBench(scale float64) (BenchReport, error) {
+	rows, err := SimulationSpeed(scale)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	return BenchReport{
+		Schema:  BenchSchema,
+		Version: Version,
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Scale:   scale,
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Rows:    rows,
+	}, nil
+}
+
+// WriteBenchJSON renders a bench report as indented JSON.
+func WriteBenchJSON(w io.Writer, rep BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rep)
+}
+
+// ReadBenchJSON parses a bench report and validates its schema tag.
+func ReadBenchJSON(r io.Reader) (BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return BenchReport{}, fmt.Errorf("bench: %w", err)
+	}
+	if rep.Schema != BenchSchema {
+		return BenchReport{}, fmt.Errorf("bench: schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	return rep, nil
+}
+
+// LoadBenchJSON reads a bench report file.
+func LoadBenchJSON(path string) (BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	defer f.Close()
+	return ReadBenchJSON(f)
+}
+
+// CompareBench checks a fresh report against a baseline: the configuration
+// roster must match, and each configuration's KCPS must stay within a factor
+// of tol of the baseline (tol >= 1; e.g. 8 tolerates any host-speed spread
+// short of an order of magnitude). Only speed ratios are compared — absolute
+// KCPS, event counts and wall times are host- and version-dependent by
+// design. Returns the per-configuration verdict lines and an error when any
+// configuration regressed beyond tolerance.
+func CompareBench(got, baseline BenchReport, tol float64) ([]string, error) {
+	if tol < 1 {
+		tol = 1
+	}
+	base := make(map[string]SpeedRow, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[r.Name] = r
+	}
+	var lines []string
+	var failed []string
+	for _, r := range got.Rows {
+		b, ok := base[r.Name]
+		if !ok {
+			failed = append(failed, r.Name)
+			lines = append(lines, fmt.Sprintf("%-5s FAIL: not in baseline", r.Name))
+			continue
+		}
+		if b.KCPS <= 0 || r.KCPS <= 0 {
+			failed = append(failed, r.Name)
+			lines = append(lines, fmt.Sprintf("%-5s FAIL: non-positive KCPS (got %.1f, base %.1f)", r.Name, r.KCPS, b.KCPS))
+			continue
+		}
+		ratio := r.KCPS / b.KCPS
+		verdict := "ok"
+		if ratio < 1/tol {
+			verdict = "FAIL: slowdown"
+			failed = append(failed, r.Name)
+		}
+		lines = append(lines, fmt.Sprintf("%-5s %s: %.0f KCPS vs baseline %.0f (x%.2f, tol x%.1f)",
+			r.Name, verdict, r.KCPS, b.KCPS, ratio, tol))
+	}
+	if len(got.Rows) != len(baseline.Rows) {
+		lines = append(lines, fmt.Sprintf("row count: got %d, baseline %d", len(got.Rows), len(baseline.Rows)))
+		if len(got.Rows) < len(baseline.Rows) {
+			failed = append(failed, "missing-rows")
+		}
+	}
+	if len(failed) > 0 {
+		return lines, fmt.Errorf("bench: %d configuration(s) out of tolerance: %v", len(failed), failed)
+	}
+	return lines, nil
+}

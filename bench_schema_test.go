@@ -1,0 +1,75 @@
+package ssdx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBenchReportRoundTripAndCompare exercises the ssdx-bench schema the CI
+// smoke job depends on: measure, serialize, parse back, and verify the
+// comparison logic accepts a self-comparison but rejects an
+// order-of-magnitude slowdown and a schema mismatch.
+func TestBenchReportRoundTripAndCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs the Table III speed sweep")
+	}
+	rep, err := MeasureBench(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema || rep.Version != Version || len(rep.Rows) == 0 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	for _, r := range rep.Rows {
+		if r.KCPS <= 0 || r.EventsPerSec <= 0 || r.SimNS <= 0 {
+			t.Fatalf("row %s missing speed figures: %+v", r.Name, r)
+		}
+	}
+
+	var b bytes.Buffer
+	if err := WriteBenchJSON(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareBench(back, rep, 8); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+
+	// A baseline 100x faster than the measurement must fail any sane
+	// tolerance.
+	fast := rep
+	fast.Rows = append([]SpeedRow(nil), rep.Rows...)
+	for i := range fast.Rows {
+		fast.Rows[i].KCPS *= 100
+	}
+	if _, err := CompareBench(rep, fast, 8); err == nil {
+		t.Fatal("100x slowdown passed the bench check")
+	}
+
+	// Schema tag is validated on read.
+	if _, err := ReadBenchJSON(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+// TestCommittedBenchBaselineParses pins the committed baseline file: it must
+// stay parseable with the current schema and cover the full Table III
+// roster, or the CI bench check would silently compare against nothing.
+func TestCommittedBenchBaselineParses(t *testing.T) {
+	rep, err := LoadBenchJSON("BENCH_simspeed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(TableIII()) {
+		t.Fatalf("baseline has %d rows, Table III has %d", len(rep.Rows), len(TableIII()))
+	}
+	for _, r := range rep.Rows {
+		if r.KCPS <= 0 {
+			t.Errorf("baseline row %s has non-positive KCPS", r.Name)
+		}
+	}
+}

@@ -59,6 +59,8 @@ func main() {
 		jsonF    = flag.String("json", "", "write the full sweep as JSON to this file ('-' = stdout)")
 		front    = flag.Bool("front", false, "print only the Pareto front")
 		quiet    = flag.Bool("quiet", false, "suppress per-point progress")
+		utilFlag = flag.Bool("utilization", false, "trace device-wide utilization on every point (fills the *_util/gc_frac CSV columns and the 'utilization' objective)")
+		traceOut = flag.String("trace-out", "", "after the sweep, re-run the best-ranked point with full event tracing and write its Perfetto JSON here")
 	)
 	flag.Parse()
 
@@ -164,7 +166,8 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "# cache: %d entries loaded from %s\n", cache.Len(), *cacheF)
 	}
-	runner := &ssdx.Runner{Workers: *workers, Cache: cache, PruneSaturated: *prune, WarmupRequests: *warmup}
+	runner := &ssdx.Runner{Workers: *workers, Cache: cache, PruneSaturated: *prune,
+		WarmupRequests: *warmup, Utilization: *utilFlag}
 	if !*quiet {
 		runner.OnProgress = func(done, total int, ev ssdx.Eval) {
 			mark := " "
@@ -213,9 +216,47 @@ func main() {
 		}
 	}
 	printTable(evals, objs, *front)
+	if *traceOut != "" {
+		if err := traceBest(evals, objs, *traceOut); err != nil {
+			fatal(err)
+		}
+	}
 	if runErr != nil {
 		os.Exit(1)
 	}
+}
+
+// traceBest re-runs the sweep's best-ranked successful point with full event
+// tracing and writes its Perfetto/Chrome trace-event JSON — the "now show me
+// why" step after a sweep picks a design.
+func traceBest(evals []ssdx.Eval, objs []ssdx.Objective, path string) error {
+	var best *ssdx.Eval
+	for _, ev := range ssdx.SortByParetoRank(evals, objs) {
+		if !ev.Failed() && !ev.Pruned {
+			best = &ev
+			break
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("-trace-out: no successful evaluation to trace")
+	}
+	var tracer *ssdx.Tracer
+	var err error
+	if len(best.Point.Tenants) > 0 {
+		_, tracer, err = ssdx.TraceRunTenants(best.Point.Config, best.Point.TenantSet(), best.Point.Mode)
+	} else {
+		_, tracer, err = ssdx.TraceRun(best.Point.Config, best.Point.Workload, best.Point.Mode)
+	}
+	if err != nil {
+		return fmt.Errorf("-trace-out: re-running p%04d: %w", best.Point.Index, err)
+	}
+	if err := withOut(path, func(f *os.File) error { return tracer.WritePerfetto(f) }); err != nil {
+		return err
+	}
+	logged, dropped := tracer.EventCount()
+	fmt.Fprintf(os.Stderr, "# trace: p%04d (%s) -> %s (%d events, %d dropped; open in ui.perfetto.dev)\n",
+		best.Point.Index, best.Point.Describe(), path, logged, dropped)
+	return nil
 }
 
 // printTable renders the rank-sorted sweep (or just the front) to stdout.

@@ -3,6 +3,11 @@
 // values depend on the host machine and kernel technology (this is a Go
 // event-driven kernel, not SystemC); the reproduction target is the
 // inverse scaling of speed with instantiated resources.
+//
+// -json emits the machine-readable ssdx-bench report instead of the table;
+// -check compares the fresh measurement against a committed baseline
+// (BENCH_simspeed.json) with a generous speed-ratio tolerance, which is the
+// CI guard against order-of-magnitude simulator slowdowns.
 package main
 
 import (
@@ -16,6 +21,9 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1, "workload scale in (0,1]")
 	list := flag.Bool("list", false, "print the Table III configurations and exit")
+	jsonOut := flag.Bool("json", false, "emit the ssdx-bench JSON report instead of the table")
+	check := flag.String("check", "", "compare against a baseline bench JSON file and fail on regression")
+	tol := flag.Float64("tol", 8, "allowed KCPS slowdown factor for -check (host noise tolerance)")
 	flag.Parse()
 	if *list {
 		fmt.Println("# Table III — simulation-speed configurations")
@@ -24,11 +32,35 @@ func main() {
 		}
 		return
 	}
-	rows, err := ssdx.SimulationSpeed(*scale)
+	rep, err := ssdx.MeasureBench(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simspeed:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Println("# Fig. 6 — simulation speed (KCPS)")
-	ssdx.WriteSpeedTable(os.Stdout, rows)
+	if *jsonOut {
+		if err := ssdx.WriteBenchJSON(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println("# Fig. 6 — simulation speed (KCPS)")
+		ssdx.WriteSpeedTable(os.Stdout, rep.Rows)
+	}
+	if *check != "" {
+		baseline, err := ssdx.LoadBenchJSON(*check)
+		if err != nil {
+			fatal(err)
+		}
+		lines, cmpErr := ssdx.CompareBench(rep, baseline, *tol)
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, "#", l)
+		}
+		if cmpErr != nil {
+			fatal(cmpErr)
+		}
+		fmt.Fprintf(os.Stderr, "# bench check ok against %s\n", *check)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simspeed:", err)
+	os.Exit(1)
 }

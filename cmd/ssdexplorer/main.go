@@ -43,6 +43,8 @@ func main() {
 		dump       = flag.Bool("dumpconfig", false, "print the resolved configuration and exit")
 		features   = flag.Bool("features", false, "print the Table I feature matrix and exit")
 		verbose    = flag.Bool("v", false, "print microarchitectural detail")
+		utilFlag   = flag.Bool("utilization", false, "trace device-wide utilization and print the per-resource report")
+		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file of the run (implies tracing)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,33 @@ func main() {
 		fatal(err)
 	}
 
+	// Tracing builds the platform explicitly so the tracer outlives the run:
+	// -trace-out needs the raw event buffer, -utilization only aggregates.
+	tracing := *utilFlag || *traceOut != ""
+	var tracer *ssdx.Tracer
+	runWorkload := func(w ssdx.Workload) (ssdx.Result, error) {
+		if !tracing {
+			return ssdx.Run(cfg, w, m)
+		}
+		p, err := ssdx.Build(cfg)
+		if err != nil {
+			return ssdx.Result{}, err
+		}
+		tracer = p.EnableTracing(ssdx.TraceOptions{Events: *traceOut != ""})
+		return p.Run(w, m)
+	}
+	runTenants := func(set ssdx.TenantSet) (ssdx.Result, error) {
+		if !tracing {
+			return ssdx.RunTenants(cfg, set, m)
+		}
+		p, err := ssdx.Build(cfg)
+		if err != nil {
+			return ssdx.Result{}, err
+		}
+		tracer = p.EnableTracing(ssdx.TraceOptions{Events: *traceOut != ""})
+		return p.RunTenants(set, m)
+	}
+
 	var res ssdx.Result
 	switch {
 	case *tenantSpec != "":
@@ -81,7 +110,7 @@ func main() {
 		if set.Policy, err = ssdx.ParseQoSPolicy(*arbPolicy); err != nil {
 			fatal(err)
 		}
-		res, err = ssdx.RunTenants(cfg, set, m)
+		res, err = runTenants(set)
 		if err != nil {
 			fatal(err)
 		}
@@ -91,7 +120,7 @@ func main() {
 		// to the stream's windowed write classification while the file
 		// plays.
 		var err error
-		res, err = ssdx.Run(cfg, ssdx.Workload{TracePath: *tracePath}, m)
+		res, err = runWorkload(ssdx.Workload{TracePath: *tracePath})
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +134,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err = ssdx.Run(cfg, w, m)
+		res, err = runWorkload(w)
 		if err != nil {
 			fatal(err)
 		}
@@ -133,7 +162,7 @@ func main() {
 			}
 			w = ssdx.Workload{Phases: []ssdx.Workload{pre, measure}}
 		}
-		res, err = ssdx.Run(cfg, w, m)
+		res, err = runWorkload(w)
 		if err != nil {
 			fatal(err)
 		}
@@ -199,6 +228,25 @@ func main() {
 			fmt.Printf("  tenant %s phases:\n", tr.Name)
 			printPhases("    ", tr.Phases)
 		}
+	}
+	if *utilFlag && res.Utilization != nil {
+		fmt.Println()
+		fmt.Print(res.Utilization.Summary(12))
+	}
+	if *traceOut != "" && tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		logged, dropped := tracer.EventCount()
+		fmt.Printf("  trace: %s (%d events, %d dropped; open in ui.perfetto.dev)\n", *traceOut, logged, dropped)
 	}
 	if *verbose {
 		printLat("all", res.AllLat)

@@ -244,14 +244,23 @@ func WearoutSweep(points int, scale float64) ([]WearRow, error) {
 	return rows, nil
 }
 
-// SpeedRow is one bar of the Fig. 6 simulation-speed experiment.
+// SpeedRow is one bar of the Fig. 6 simulation-speed experiment. The JSON
+// shape is part of the ssdx-bench schema (see BenchReport), so renames are
+// breaking.
 type SpeedRow struct {
-	Name     string
-	Topology string
-	Dies     int
-	KCPS     float64
-	Events   uint64
-	WallSec  float64
+	Name     string  `json:"name"`
+	Topology string  `json:"topology"`
+	Dies     int     `json:"dies"`
+	KCPS     float64 `json:"kcps"`
+	Events   uint64  `json:"events"`
+	WallSec  float64 `json:"wall_sec"`
+
+	// EventsPerSec and SimNS extend the Fig. 6 readout with the simulator
+	// self-profile's units: kernel events retired per wall-clock second and
+	// the simulated span covered, for events/sec and simulated-ns-per-wall-ms
+	// trend tracking across commits.
+	EventsPerSec float64 `json:"events_per_sec"`
+	SimNS        int64   `json:"sim_ns"`
 }
 
 // PaperKCPS are the paper's measured kilo-cycles-per-second values for
@@ -276,14 +285,19 @@ func SimulationSpeed(scale float64) ([]SpeedRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("simspeed %s: %w", cfg.Name, err)
 		}
-		rows = append(rows, SpeedRow{
+		row := SpeedRow{
 			Name:     cfg.Name,
 			Topology: cfg.Describe(),
 			Dies:     cfg.TotalDies(),
 			KCPS:     res.KCPS,
 			Events:   res.Events,
 			WallSec:  res.WallSeconds,
-		})
+			SimNS:    int64(res.SimTime) / 1000, // sim.Time is picoseconds
+		}
+		if row.WallSec > 0 {
+			row.EventsPerSec = float64(row.Events) / row.WallSec
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -88,11 +88,16 @@ type Bus struct {
 
 	xferPool sim.FreeList[xfer]     // recycled Transfer state (hot-path allocation control)
 	delPool  sim.FreeList[delivery] // recycled per-grant delivery records
+
+	// OnGrant, when set, observes every granted occupancy window with the
+	// serving layer's index. Tracing hook: nil by default, one branch cost.
+	OnGrant func(layer int, start, end sim.Time)
 }
 
 // layer is one arbitrated crossbar layer with its own round-robin pointer.
 type layer struct {
 	bus       *Bus
+	idx       int // position in Bus.layers (tracing identity)
 	busyUntil sim.Time
 	rrNext    int // next master index to consider (round-robin fairness)
 	Stats     Stats
@@ -144,7 +149,7 @@ func NewBus(k *sim.Kernel, cfg Config) (*Bus, error) {
 	}
 	b := &Bus{cfg: cfg, k: k, clk: sim.NewClock("ahb", cfg.ClockMHz)}
 	for i := 0; i < cfg.Layers; i++ {
-		b.layers = append(b.layers, &layer{bus: b})
+		b.layers = append(b.layers, &layer{bus: b, idx: i})
 	}
 	return b, nil
 }
@@ -310,6 +315,9 @@ func (l *layer) kick() {
 	l.Stats.Grants++
 	l.Stats.Bytes += uint64(nb)
 	l.Stats.BusyTime += dur
+	if l.bus.OnGrant != nil {
+		l.bus.OnGrant(l.idx, start, end)
+	}
 	chosen.Grants++
 	chosen.Bytes += uint64(nb)
 	d := l.bus.allocDelivery()

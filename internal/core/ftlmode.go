@@ -136,7 +136,7 @@ func (p *Platform) mapperCopy(op ftl.Op) {
 	p.stats.flashReads++
 	p.stats.flashWrites++
 	prep := func(ready func()) {
-		if err := p.Channels[srcCh].Read(srcD, srcAddr, p.pageBytes, func() {
+		if err := p.Channels[srcCh].ReadGC(srcD, srcAddr, p.pageBytes, func() {
 			p.eccDecode(1, func() {
 				p.eccEncode(1, ready)
 			})
@@ -144,7 +144,9 @@ func (p *Platform) mapperCopy(op ftl.Op) {
 			panic(fmt.Sprintf("core: gc source read failed: %v", err))
 		}
 	}
-	err := p.Channels[dstCh].WriteMultiPrep(dstD, []nand.Addr{dstAddr}, p.pageBytes, nil, prep, nil)
+	// The whole single-page batch is a relocation: its busy time lands in
+	// the gc_read/gc_program op kinds of the utilization timeline.
+	err := p.Channels[dstCh].WriteMultiPrepGC(dstD, []nand.Addr{dstAddr}, p.pageBytes, nil, 1, prep, nil)
 	if err != nil {
 		panic(fmt.Sprintf("core: gc program failed: %v", err))
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/nand"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/workload"
 )
 
@@ -109,6 +110,10 @@ type Platform struct {
 	// Bookkeeping.
 	flashWritesInFlight int
 	rng                 *sim.RNG
+
+	// tracer is the device-wide event tracer (nil unless EnableTracing ran
+	// before the run); Run folds its report into Result.Utilization.
+	tracer *evtrace.Tracer
 
 	// Replay classification state: liveClass is the streaming generator's
 	// windowed classifier (nil outside adaptive replay), wafRandom the
@@ -374,11 +379,13 @@ func (p *Platform) preloadReadRegion(spanBytes int64) error {
 }
 
 // writePage is one page accumulating in a die's multi-plane batch: the
-// host command's span (nil for GC relocations and drain traffic) and the
-// program-completion callback.
+// host command's span (nil for GC relocations and drain traffic), the
+// program-completion callback, and the GC flag that routes the page's array
+// time to the gc_program op kind in the utilization timeline.
 type writePage struct {
 	span *telemetry.Span
 	done func()
+	gc   bool
 }
 
 // flashWrite routes one user page through ECC into the NAND array,
@@ -438,11 +445,15 @@ func (p *Platform) issueWrite(gdie int, pages []writePage) {
 		// synchronously, so the scratch buffer is reusable per sub-batch.
 		spans := p.spanScratch[:0]
 		haveSpan := false
+		gcPages := 0
 		for _, pg := range batchPages {
 			spans = append(spans, pg.span)
 			if pg.span != nil {
 				pg.span.Advance(telemetry.StageChan, now)
 				haveSpan = true
+			}
+			if pg.gc {
+				gcPages++
 			}
 		}
 		p.spanScratch = spans[:0]
@@ -451,7 +462,7 @@ func (p *Platform) issueWrite(gdie int, pages []writePage) {
 		}
 		n := len(batch)
 		prep := func(ready func()) { p.eccEncode(n, ready) }
-		err := p.Channels[ch].WriteMultiPrep(die, batch, p.pageBytes, spans, prep, func() {
+		err := p.Channels[ch].WriteMultiPrepGC(die, batch, p.pageBytes, spans, gcPages, prep, func() {
 			p.lastWritten[gdie] = batch[n-1]
 			p.hasWritten[gdie] = true
 			for _, pg := range batchPages {
@@ -491,12 +502,12 @@ func (p *Platform) gcCopy() {
 	ch, die := p.chanDie(gdie)
 	p.stats.gcCopies++
 	p.stats.flashReads++
-	if err := p.Channels[ch].Read(die, src, p.pageBytes, func() {
+	if err := p.Channels[ch].ReadGC(die, src, p.pageBytes, func() {
 		p.eccDecode(1, func() {
 			// GC programs join the same per-die multi-plane batches as
 			// user pages (real collectors relocate pages in bulk); they
 			// carry no span — no host command is waiting on them.
-			p.pending[gdie] = append(p.pending[gdie], writePage{})
+			p.pending[gdie] = append(p.pending[gdie], writePage{gc: true})
 			if len(p.pending[gdie]) >= p.planeBatch {
 				p.issueBatch(gdie)
 			}

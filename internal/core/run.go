@@ -13,6 +13,7 @@ import (
 	"repro/internal/nand"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -89,6 +90,11 @@ type Result struct {
 	FlashWrites   uint64
 	FlashReads    uint64
 	Completed     uint64
+
+	// Utilization is the device-wide event-tracing report — per-resource
+	// busy fractions, die occupancy timelines, GC share and the simulator
+	// self-profile. Nil unless the platform ran with EnableTracing.
+	Utilization *evtrace.Report `json:"utilization,omitempty"`
 }
 
 // String renders a one-line summary.
@@ -172,6 +178,7 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 	res.Erases = p.stats.eraseOps
 	res.FlashWrites = p.stats.flashWrites
 	res.FlashReads = p.stats.flashReads
+	res.Utilization = p.utilizationReport(res.WallSeconds)
 	return res, nil
 }
 
@@ -672,6 +679,7 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 	res.Erases = p.stats.eraseOps
 	res.FlashWrites = p.stats.flashWrites
 	res.FlashReads = p.stats.flashReads
+	res.Utilization = p.utilizationReport(res.WallSeconds)
 	return res, nil
 }
 

@@ -25,6 +25,11 @@ type TenantResult struct {
 	Completed    uint64  `json:"completed"`
 	InflightPeak int     `json:"inflight_peak"`
 
+	// SQDepthMean/SQDepthPeak summarize the tenant's submission-queue depth
+	// timeline (time-weighted). Zero mean unless the run traced events.
+	SQDepthMean float64 `json:"sq_depth_mean,omitempty"`
+	SQDepthPeak int     `json:"sq_depth_peak,omitempty"`
+
 	ReadLat  workload.LatStats `json:"read_lat"`
 	WriteLat workload.LatStats `json:"write_lat"`
 	AllLat   workload.LatStats `json:"all_lat"`
@@ -144,6 +149,7 @@ func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
 	res.Erases = p.stats.eraseOps
 	res.FlashWrites = p.stats.flashWrites
 	res.FlashReads = p.stats.flashReads
+	res.Utilization = p.utilizationReport(res.WallSeconds)
 
 	res.Tenants = p.tenantResults(set)
 	res.Fairness = fairnessOf(res.Tenants)
@@ -169,6 +175,7 @@ func (p *Platform) tenantResults(set nvme.TenantSet) []TenantResult {
 			Stages:       p.Host.QueueStageBreakdown(i),
 			Phases:       labeledPhases(p.Host.QueuePhaseProfiles(i), t.Workload.Phases),
 		}
+		tr.SQDepthMean, tr.SQDepthPeak = p.Host.QueueDepthStats(i)
 		if tr.AllLat.Ops > 0 && (minMean == 0 || tr.AllLat.MeanUS < minMean) {
 			minMean = tr.AllLat.MeanUS
 		}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	evtrace "repro/internal/telemetry/trace"
+)
+
+// EnableTracing attaches a device-wide event tracer to a built platform:
+// every modeled resource — NAND dies, ONFI buses, DRAM buffers, ECC
+// engines, CPU cores, AHB layers, host links and (once a multi-queue run
+// starts) per-tenant submission queues — registers a trace track, and the
+// run's Result carries the aggregated utilization report. Call between
+// Build and the run; the returned tracer can export a Perfetto trace after
+// the run. Tracing off (never calling this) costs the hot path nothing but
+// nil-checks.
+func (p *Platform) EnableTracing(opt evtrace.Options) *evtrace.Tracer {
+	if p.tracer != nil {
+		return p.tracer
+	}
+	tr := evtrace.New(opt)
+	p.tracer = tr
+
+	// Host links and submission queues.
+	p.Host.SetTracer(tr)
+
+	// CPU cores.
+	for _, core := range p.CPU.Cores() {
+		res := tr.Register(evtrace.KindCPU, core.Name())
+		core.OnServe = func(start, end sim.Time) {
+			tr.Interval(res, evtrace.OpBusy, start, end)
+		}
+	}
+
+	// AHB interconnect layers.
+	ahbRes := make([]int32, p.Bus.Config().Layers)
+	for i := range ahbRes {
+		ahbRes[i] = tr.Register(evtrace.KindAHB, fmt.Sprintf("ahb%d", i))
+	}
+	p.Bus.OnGrant = func(layer int, start, end sim.Time) {
+		tr.Interval(ahbRes[layer], evtrace.OpXfer, start, end)
+	}
+
+	// DRAM buffers.
+	for _, b := range p.DRAM.Buffers {
+		res := tr.Register(evtrace.KindDRAM, fmt.Sprintf("ddr%d", b.ID))
+		b.OnServe = func(write bool, start, end sim.Time) {
+			op := evtrace.OpRead
+			if write {
+				op = evtrace.OpWrite
+			}
+			tr.Interval(res, op, start, end)
+		}
+	}
+
+	// ECC engines.
+	for _, e := range p.eccEngines {
+		res := tr.Register(evtrace.KindECC, e.Name())
+		e.OnServe = func(start, end sim.Time) {
+			tr.Interval(res, evtrace.OpBusy, start, end)
+		}
+	}
+
+	// Channels: dies (per-op-kind intervals, GC split, flow steps) and ONFI
+	// buses.
+	for _, ch := range p.Channels {
+		ch.SetTracer(tr)
+	}
+	return tr
+}
+
+// Tracer returns the attached event tracer (nil when tracing is off).
+func (p *Platform) Tracer() *evtrace.Tracer { return p.tracer }
+
+// utilizationReport folds the tracer's aggregates into a report at the
+// kernel's current time, stamping the simulator self-profile. wallSeconds
+// may be zero (deterministic contexts leave wall-clock fields unset).
+func (p *Platform) utilizationReport(wallSeconds float64) *evtrace.Report {
+	if p.tracer == nil {
+		return nil
+	}
+	rep := p.tracer.Report(p.K.Now())
+	rep.Profile.KernelEvents = p.K.Executed
+	if wallSeconds > 0 {
+		rep.Profile.WallSeconds = wallSeconds
+		rep.Profile.EventsPerSec = float64(p.K.Executed) / wallSeconds
+		rep.Profile.SimNSPerWallMS = rep.SimNS / (wallSeconds * 1e3)
+	}
+	return rep
+}

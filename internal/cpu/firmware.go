@@ -97,6 +97,10 @@ func (c *Complex) Config() Config { return c.cfg }
 // Clock returns the core clock.
 func (c *Complex) Clock() *sim.Clock { return c.clk }
 
+// Cores exposes the per-core servers (read-only use: tracing hooks and
+// diagnostics attach here).
+func (c *Complex) Cores() []*sim.Server { return c.cores }
+
 // Exec schedules a firmware task of the given cycle cost on the next core
 // (round-robin); done fires when the task completes.
 func (c *Complex) Exec(cycles int64, done func()) {

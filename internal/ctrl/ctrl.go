@@ -19,6 +19,7 @@ import (
 	"repro/internal/nand"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	evtrace "repro/internal/telemetry/trace"
 )
 
 // GangMode selects the channel/way interconnection scheme.
@@ -108,6 +109,15 @@ type Channel struct {
 	tim nand.Timing
 
 	Stats Stats
+
+	// Event tracing (nil when disabled — every recording site checks tr, so
+	// the uninstrumented hot path pays one branch and zero allocations).
+	// dieRes/wayRes hold the registered resource ids; the controller records
+	// die intervals itself because only it knows the op kind and GC share.
+	tr     *evtrace.Tracer
+	dieRes []int32
+	busRes int32
+	wayRes []int32
 }
 
 // New builds a channel controller with its dies attached.
@@ -141,6 +151,32 @@ func New(k *sim.Kernel, id int, cfg Config, geo nand.Geometry, tim nand.Timing,
 	}
 	ch.cache = sim.NewTokenGate(k, slots)
 	return ch, nil
+}
+
+// SetTracer attaches an event tracer: it registers the channel's dies and
+// ONFI buses as resources and hooks the bus servers' service windows. Call
+// once, before the run starts.
+func (ch *Channel) SetTracer(tr *evtrace.Tracer) {
+	if tr == nil {
+		return
+	}
+	ch.tr = tr
+	ch.dieRes = make([]int32, len(ch.dies))
+	for d := range ch.dies {
+		ch.dieRes[d] = tr.Register(evtrace.KindDie, fmt.Sprintf("ch%d-die%d", ch.ID, d))
+	}
+	ch.busRes = tr.Register(evtrace.KindBus, ch.cmdBus.Name())
+	busRes := ch.busRes
+	ch.cmdBus.OnServe = func(start, end sim.Time) {
+		tr.Interval(busRes, evtrace.OpXfer, start, end)
+	}
+	for _, wb := range ch.wayBus {
+		res := tr.Register(evtrace.KindBus, wb.Name())
+		ch.wayRes = append(ch.wayRes, res)
+		wb.OnServe = func(start, end sim.Time) {
+			tr.Interval(res, evtrace.OpXfer, start, end)
+		}
+	}
 }
 
 // Config returns the channel configuration.
@@ -230,6 +266,12 @@ type dieOp struct {
 	prepped   bool  // write prep stage (e.g. ECC encode) complete
 	slotReady bool  // read SRAM slot reserved
 
+	// GC attribution: gcPages counts relocation pages riding a program
+	// batch (they get their own op kind in the utilization timeline);
+	// gcRead marks a relocation source read.
+	gcPages int
+	gcRead  bool
+
 	// Stage attribution targets: span for reads, spans for the batched
 	// program path (one per page; entries may be nil for spanless pages such
 	// as GC relocations riding a user batch). Both may be empty.
@@ -302,10 +344,13 @@ func (op *dieOp) bind() {
 		// the granted window itself is ONFI occupancy (bus stage).
 		op.advance(telemetry.StageChan, op.busStart)
 		op.advance(telemetry.StageBus, op.busEnd)
-		_, err := op.ch.dies[op.die].MultiPlaneProgram(op.addrs, op.onProgDone)
+		dur, err := op.ch.dies[op.die].MultiPlaneProgram(op.addrs, op.onProgDone)
 		if err != nil {
 			panic(fmt.Sprintf("ctrl: program failed on ch%d die%d %+v: %v",
 				op.ch.ID, op.die, op.addrs, err))
+		}
+		if ch := op.ch; ch.tr != nil {
+			ch.recordProgram(op, dur)
 		}
 	}
 	op.onProgDone = func() {
@@ -320,6 +365,32 @@ func (op *dieOp) bind() {
 		ch.putOp(op)
 		if done != nil {
 			done()
+		}
+	}
+}
+
+// recordProgram logs a program batch's array interval onto the die's trace
+// resource, splitting a mixed user/GC batch proportionally so relocation
+// work shows up under its own op kind. Flow steps connect the interval to
+// every traced command whose page rides the batch.
+func (ch *Channel) recordProgram(op *dieOp, dur sim.Time) {
+	now := ch.k.Now()
+	res := ch.dieRes[op.die]
+	total := len(op.addrs)
+	gc := op.gcPages
+	if gc > total {
+		gc = total
+	}
+	userEnd := now + dur*sim.Time(total-gc)/sim.Time(total)
+	if gc < total {
+		ch.tr.Interval(res, evtrace.OpProgram, now, userEnd)
+	}
+	if gc > 0 {
+		ch.tr.Interval(res, evtrace.OpGCProgram, userEnd, now+dur)
+	}
+	for _, sp := range op.spans {
+		if sp != nil && sp.Flow != 0 {
+			ch.tr.FlowStep(res, sp.Flow, now)
 		}
 	}
 }
@@ -343,6 +414,7 @@ func (ch *Channel) putOp(op *dieOp) {
 	op.done = nil
 	op.bytes = 0
 	op.fetched, op.prepped, op.slotReady = false, false, false
+	op.gcPages, op.gcRead = 0, false
 	ch.opPool.Give(op)
 }
 
@@ -380,6 +452,9 @@ func (op *dieOp) writeReady() bool { return op.fetched && op.prepped }
 // enqueue appends an op in command order and pumps the die.
 func (ch *Channel) enqueue(die int, op *dieOp) {
 	ch.dieQ[die].push(op)
+	if ch.tr != nil {
+		ch.tr.Depth(ch.dieRes[die], ch.dieQ[die].len(), ch.k.Now())
+	}
 	ch.pump(die)
 }
 
@@ -397,6 +472,9 @@ func (ch *Channel) pump(die int) {
 		return // SRAM slot grant will re-pump
 	}
 	ch.dieQ[die].pop()
+	if ch.tr != nil {
+		ch.tr.Depth(ch.dieRes[die], ch.dieQ[die].len(), ch.k.Now())
+	}
 	ch.dieBusy[die] = true
 	switch op.kind {
 	case opWrite:
@@ -428,7 +506,7 @@ func (ch *Channel) startRead(die int, op *dieOp) {
 			// Die-queue wait plus command/address cycles: channel stage.
 			op.span.Advance(telemetry.StageChan, ch.k.Now())
 		}
-		_, err := ch.dies[die].Read(op.addrs[0], func() {
+		dur, err := ch.dies[die].Read(op.addrs[0], func() {
 			if op.span != nil {
 				// Array sense (tR): NAND stage.
 				op.span.Advance(telemetry.StageNAND, ch.k.Now())
@@ -469,13 +547,24 @@ func (ch *Channel) startRead(die int, op *dieOp) {
 			panic(fmt.Sprintf("ctrl: read failed on ch%d die%d %+v: %v",
 				ch.ID, die, op.addrs[0], err))
 		}
+		if ch.tr != nil {
+			now := ch.k.Now()
+			kind := evtrace.OpRead
+			if op.gcRead {
+				kind = evtrace.OpGCRead
+			}
+			ch.tr.Interval(ch.dieRes[die], kind, now, now+dur)
+			if op.span != nil && op.span.Flow != 0 {
+				ch.tr.FlowStep(ch.dieRes[die], op.span.Flow, now)
+			}
+		}
 	})
 }
 
 func (ch *Channel) startErase(die int, op *dieOp) {
 	a := op.addrs[0]
 	ch.acquireCmd(func() {
-		_, err := ch.dies[die].EraseBlock(a.Plane, a.Block, func() {
+		dur, err := ch.dies[die].EraseBlock(a.Plane, a.Block, func() {
 			ch.Stats.Erases++
 			done := op.done
 			ch.release(die)
@@ -487,6 +576,10 @@ func (ch *Channel) startErase(die int, op *dieOp) {
 		if err != nil {
 			panic(fmt.Sprintf("ctrl: erase failed on ch%d die%d p%d b%d: %v",
 				ch.ID, die, a.Plane, a.Block, err))
+		}
+		if ch.tr != nil {
+			now := ch.k.Now()
+			ch.tr.Interval(ch.dieRes[die], evtrace.OpErase, now, now+dur)
 		}
 	})
 }
@@ -517,6 +610,15 @@ func (ch *Channel) WriteMulti(die int, addrs []nand.Addr, pageBytes int, done fu
 // ONFI window to the bus stage, and tPROG to the NAND stage. addrs and
 // spans are copied at call time — the caller may reuse its backing arrays.
 func (ch *Channel) WriteMultiPrep(die int, addrs []nand.Addr, pageBytes int, spans []*telemetry.Span, prep func(ready func()), done func()) error {
+	return ch.WriteMultiPrepGC(die, addrs, pageBytes, spans, 0, prep, done)
+}
+
+// WriteMultiPrepGC is WriteMultiPrep with an explicit count of GC relocation
+// pages riding the batch: the utilization timeline splits the program
+// interval so gcPages' share is attributed to the gc_program op kind instead
+// of user program time (relocations are typically spanless, so this is the
+// only place their array time becomes visible).
+func (ch *Channel) WriteMultiPrepGC(die int, addrs []nand.Addr, pageBytes int, spans []*telemetry.Span, gcPages int, prep func(ready func()), done func()) error {
 	if err := ch.checkDie(die); err != nil {
 		return err
 	}
@@ -529,7 +631,11 @@ func (ch *Channel) WriteMultiPrep(die int, addrs []nand.Addr, pageBytes int, spa
 	if len(spans) != 0 && len(spans) != len(addrs) {
 		return fmt.Errorf("ctrl: %d spans for %d addresses", len(spans), len(addrs))
 	}
+	if gcPages < 0 || gcPages > len(addrs) {
+		return fmt.Errorf("ctrl: %d GC pages for %d addresses", gcPages, len(addrs))
+	}
 	op := ch.getOp()
+	op.gcPages = gcPages
 	op.kind = opWrite
 	op.die = die
 	op.addrs = append(op.addrs[:0], addrs...)
@@ -561,6 +667,18 @@ func (ch *Channel) Read(die int, addr nand.Addr, pageBytes int, done func()) err
 // stage, the array sense to the NAND stage, data-out cycles to the bus
 // stage, and the PP-DMA push into the buffer to the DRAM stage.
 func (ch *Channel) ReadTraced(die int, addr nand.Addr, pageBytes int, sp *telemetry.Span, done func()) error {
+	return ch.readOp(die, addr, pageBytes, sp, false, done)
+}
+
+// ReadGC is Read for a garbage-collection relocation source page: timing is
+// identical, but the utilization timeline attributes the array sense to the
+// gc_read op kind.
+func (ch *Channel) ReadGC(die int, addr nand.Addr, pageBytes int, done func()) error {
+	return ch.readOp(die, addr, pageBytes, nil, true, done)
+}
+
+// readOp queues a page read with its attribution targets.
+func (ch *Channel) readOp(die int, addr nand.Addr, pageBytes int, sp *telemetry.Span, gc bool, done func()) error {
 	if err := ch.checkDie(die); err != nil {
 		return err
 	}
@@ -568,6 +686,7 @@ func (ch *Channel) ReadTraced(die int, addr nand.Addr, pageBytes int, sp *teleme
 		return errors.New("ctrl: non-positive page size")
 	}
 	op := ch.getOp()
+	op.gcRead = gc
 	op.kind = opRead
 	op.die = die
 	op.addrs = append(op.addrs[:0], addr)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/nand"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	evtrace "repro/internal/telemetry/trace"
 )
 
 // TestWriteSpanStageSplit pins the batched program path's stage attribution
@@ -226,6 +227,51 @@ func TestWriteSpanBatchZeroAllocs(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("batched program path allocated %.1f times per %d-batch lap, want 0", avg, perRun)
+	}
+}
+
+// TestWriteSpanBatchZeroAllocsTracingOff pins the tracing hooks' cost
+// contract from both sides. With no tracer attached (the default), the
+// instrumented program path must still allocate nothing — the hooks are one
+// nil check each. And with an aggregates-only tracer attached (utilization
+// timelines, no raw event buffer), the steady-state path must also allocate
+// nothing: interval and depth recording update preallocated counters and
+// fixed-memory timeline bins in place.
+func TestWriteSpanBatchZeroAllocsTracingOff(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		attach bool
+	}{
+		{"no-tracer", false},
+		{"aggregates-only", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := benchRig(t)
+			if tc.attach {
+				r.ch.SetTracer(evtrace.New(evtrace.Options{}))
+			}
+			geo := nand.SmallGeometry()
+			var spA, spB telemetry.Span
+			spans := []*telemetry.Span{&spA, &spB}
+			batches := dieBatches(geo)
+			cursor := 0
+			writeSpanLap(t, r, batches, &cursor, spans, len(batches))
+			eraseDie(t, r)
+			cursor = 0
+			const perRun = 8
+			runs := 0
+			avg := testing.AllocsPerRun(10, func() {
+				runs++
+				if runs*perRun > len(batches) {
+					t.Fatalf("measured laps exceeded die capacity (%d runs)", runs)
+				}
+				writeSpanLap(t, r, batches, &cursor, spans, perRun)
+			})
+			if avg != 0 {
+				t.Fatalf("program path with %s allocated %.1f times per %d-batch lap, want 0",
+					tc.name, avg, perRun)
+			}
+		})
 	}
 }
 

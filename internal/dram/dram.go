@@ -108,6 +108,10 @@ type Buffer struct {
 	free        sim.FreeList[req] // recycled requests (hot-path allocation control)
 
 	Stats Stats
+
+	// OnServe, when set, observes every served access window. Tracing hook:
+	// nil by default, one branch cost on the serve path.
+	OnServe func(write bool, start, end sim.Time)
 }
 
 // req is one queued access. start/end hold the granted service window and
@@ -197,6 +201,9 @@ func (b *Buffer) kick() {
 	end := b.serve(start, r)
 	b.busyUntil = end
 	b.Stats.BusyTime += end - start
+	if b.OnServe != nil {
+		b.OnServe(r.write, start, end)
+	}
 	if r.write {
 		b.Stats.Writes++
 		b.Stats.BytesWrite += uint64(r.bytes)

@@ -33,7 +33,12 @@ func buildCSVHeader(maxTenants, maxPhases int) []string {
 	h = append(h,
 		"saturated", "backlog_growth", "waf",
 		"erases", "gc_copies", "flash_writes", "flash_reads", "events",
-		"sim_ns", "cached", "pruned", "err",
+		"sim_ns",
+		// Device-wide utilization block (blank unless the sweep ran with
+		// event tracing): per-kind mean busy fractions plus the GC share of
+		// die busy time.
+		"nand_util", "onfi_util", "dram_util", "ecc_util", "cpu_util_t", "ahb_util", "gc_frac",
+		"cached", "pruned", "err",
 	)
 	if maxTenants > 0 {
 		h = append(h, "policy", "fairness")
@@ -123,6 +128,14 @@ func WriteCSV(w io.Writer, evals []Eval) error {
 			strconv.FormatUint(r.FlashReads, 10),
 			strconv.FormatUint(r.Events, 10),
 			strconv.FormatInt(int64(r.SimTime), 10),
+		)
+		if u := r.Utilization; u != nil {
+			row = append(row, f(u.NANDUtil), f(u.BusUtil), f(u.DRAMUtil),
+				f(u.ECCUtil), f(u.CPUUtil), f(u.AHBUtil), f(u.GCFrac))
+		} else {
+			row = append(row, "", "", "", "", "", "", "")
+		}
+		row = append(row,
 			strconv.FormatBool(ev.Cached),
 			strconv.FormatBool(ev.Pruned),
 			ev.Err,

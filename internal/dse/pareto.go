@@ -79,6 +79,16 @@ var objectives = map[string]Objective{
 		}
 		return worst
 	}},
+	// Mean NAND-die busy fraction (requires a utilization-traced sweep;
+	// untraced results score 0): maximising it finds the configurations
+	// whose host throughput actually turns into flash-array work — the
+	// paper's "is the added parallelism used?" question as an objective.
+	"utilization": {Name: "utilization", Maximize: true, Value: func(r core.Result) float64 {
+		if r.Utilization == nil {
+			return 0
+		}
+		return r.Utilization.NANDUtil
+	}},
 }
 
 // Per-stage latency objectives ("<stage>p99", e.g. nandp99): minimise one

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nvme"
+	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/workload"
 )
 
@@ -34,6 +35,15 @@ func (e Eval) Failed() bool { return e.Err != "" }
 func Normalize(res core.Result) core.Result {
 	res.WallSeconds = 0
 	res.KCPS = 0
+	if res.Utilization != nil {
+		// The report is a pointer: copy before stripping the self-profile's
+		// wall-clock fields so the caller's result stays intact.
+		rep := *res.Utilization
+		rep.Profile.WallSeconds = 0
+		rep.Profile.EventsPerSec = 0
+		rep.Profile.SimNSPerWallMS = 0
+		res.Utilization = &rep
+	}
 	return res
 }
 
@@ -68,6 +78,12 @@ type Runner struct {
 
 	// WarmupRequests is the probe quota (default 512 per stream).
 	WarmupRequests int
+
+	// Utilization runs every point with device-wide event tracing enabled
+	// (aggregates only, no raw event buffer): results carry a
+	// Result.Utilization report and the CSV export gains per-resource
+	// utilization columns. Ignored when a custom Evaluate is set.
+	Utilization bool
 }
 
 // DefaultWarmupRequests is the pruning probe's per-stream request quota:
@@ -92,11 +108,21 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 	}
 	evaluate := r.Evaluate
 	if evaluate == nil {
+		utilization := r.Utilization
 		evaluate = func(pt Point) (core.Result, error) {
-			if len(pt.Tenants) > 0 {
-				return core.RunTenantWorkload(pt.Config, pt.TenantSet(), pt.Mode)
+			p, err := core.Build(pt.Config)
+			if err != nil {
+				return core.Result{}, err
 			}
-			return core.RunWorkload(pt.Config, pt.Workload, pt.Mode)
+			if utilization {
+				// Aggregates only: sweeps need busy fractions and GC shares,
+				// not raw event buffers per point.
+				p.EnableTracing(evtrace.Options{})
+			}
+			if len(pt.Tenants) > 0 {
+				return p.RunTenants(pt.TenantSet(), pt.Mode)
+			}
+			return p.Run(pt.Workload, pt.Mode)
 		}
 	}
 

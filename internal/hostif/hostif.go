@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -219,6 +220,13 @@ type Interface struct {
 	// reset at phase boundaries: saturation is a property of the scenario).
 	backlog telemetry.Backlog
 
+	// Event tracing (nil when disabled): the rx/tx links are host resources,
+	// submission queues get depth counters, and every command becomes a
+	// trace flow connecting the resources it touched.
+	tr    *evtrace.Tracer
+	rxRes int32
+	txRes int32
+
 	Stats Stats
 }
 
@@ -235,6 +243,33 @@ func New(k *sim.Kernel, cfg Config) (*Interface, error) {
 		window:    sim.NewTokenGate(k, cfg.QueueDepth),
 		recording: true,
 	}, nil
+}
+
+// SetTracer attaches an event tracer: the rx and tx links register as host
+// resources whose service windows are recorded, and commands carry flow
+// ids. Call once, before Run/RunMulti.
+func (i *Interface) SetTracer(tr *evtrace.Tracer) {
+	if tr == nil {
+		return
+	}
+	i.tr = tr
+	i.rxRes = tr.Register(evtrace.KindHost, i.rx.Name())
+	i.txRes = tr.Register(evtrace.KindHost, i.tx.Name())
+	rxRes, txRes := i.rxRes, i.txRes
+	i.rx.OnServe = func(start, end sim.Time) { tr.Interval(rxRes, evtrace.OpBusy, start, end) }
+	i.tx.OnServe = func(start, end sim.Time) { tr.Interval(txRes, evtrace.OpBusy, start, end) }
+}
+
+// cmdOp maps a request's op class onto a trace op kind for the command
+// track.
+func cmdOp(op trace.Op) evtrace.Op {
+	switch op {
+	case trace.OpWrite:
+		return evtrace.OpWrite
+	case trace.OpRead:
+		return evtrace.OpRead
+	}
+	return evtrace.OpBusy
 }
 
 // Config returns the interface configuration.
@@ -334,6 +369,12 @@ func (i *Interface) submit(req trace.Request, queued sim.Time, record bool, queu
 	// The window slot is granted: everything since the queue time was
 	// host-side queueing (window admission plus arrival backlog).
 	cmd.Span.Advance(telemetry.StageQueued, i.k.Now())
+	if i.tr != nil {
+		// ID 0 is a valid command; flow 0 means "untraced", so shift by one.
+		cmd.Span.Flow = cmd.ID + 1
+		i.tr.CommandStart(cmd.Span.Flow, cmdOp(req.Op), queued)
+		i.tr.FlowStep(i.rxRes, cmd.Span.Flow, i.k.Now())
+	}
 	i.nextID++
 	i.rx.Acquire(i.cfg.wireTime(i.cfg.CmdBytes), func(_, end sim.Time) {
 		i.k.At(end, func() {
@@ -375,6 +416,10 @@ func (i *Interface) Complete(cmd *Command) {
 			i.k.At(end, func() {
 				cmd.CompleteAt = end
 				cmd.Span.Advance(telemetry.StageWire, end)
+				if i.tr != nil {
+					i.tr.FlowStep(i.txRes, cmd.Span.Flow, end)
+					i.tr.CommandEnd(cmd.Span.Flow, end)
+				}
 				i.Stats.Completed++
 				i.Stats.LastComplete = end
 				switch cmd.Req.Op {
@@ -422,6 +467,7 @@ func (i *Interface) Complete(cmd *Command) {
 					qs := i.qs[cmd.Queue]
 					qs.outstanding--
 					qs.completed++
+					i.sampleQueueDepth(qs)
 					if qs.stalled && qs.ready()+qs.outstanding < qs.depth {
 						// The depth bound has slack again: resume the
 						// tenant's pull chain.

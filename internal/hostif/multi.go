@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -84,6 +85,10 @@ type queueState struct {
 	hasSubmit    bool
 	bytes        uint64
 	completed    uint64
+
+	// res is the queue's trace resource id (-1 when tracing is off): its
+	// inflight depth (SQ entries + dispatched) is sampled on every change.
+	res int32
 }
 
 // ready returns the number of commands waiting in the SQ.
@@ -139,7 +144,10 @@ func (i *Interface) RunMulti(src MultiSource, handler func(*Command), onDrained 
 		if depth <= 0 || depth > i.cfg.QueueDepth {
 			depth = i.cfg.QueueDepth
 		}
-		i.qs[q] = &queueState{name: src.QueueName(q), depth: depth, recording: true, phased: src.Phased(q)}
+		i.qs[q] = &queueState{name: src.QueueName(q), depth: depth, recording: true, phased: src.Phased(q), res: -1}
+		if i.tr != nil {
+			i.qs[q].res = i.tr.Register(evtrace.KindSQ, src.QueueName(q))
+		}
 	}
 	for q := 0; q < n; q++ {
 		i.pullQueue(q)
@@ -180,6 +188,7 @@ func (i *Interface) pullQueue(q int) {
 			i.backlog.Observe(at.Microseconds(), lag.Microseconds())
 		}
 		qs.push(sqEntry{req: req, queued: queued, record: rec, winGen: qs.winGen, phase: phase})
+		i.sampleQueueDepth(qs)
 		i.dispatch()
 		if qs.ready()+qs.outstanding < qs.depth {
 			// Continue the pull chain through the event queue so a deep
@@ -247,6 +256,25 @@ func (i *Interface) dispatchGrant() {
 	}
 	i.submit(e.req, e.queued, e.record, q, e.winGen, e.phase)
 	i.dispatch()
+}
+
+// sampleQueueDepth records a queue's inflight depth (SQ + dispatched) onto
+// its trace resource. No-op when tracing is off.
+func (i *Interface) sampleQueueDepth(qs *queueState) {
+	if i.tr != nil {
+		i.tr.Depth(qs.res, qs.ready()+qs.outstanding, i.k.Now())
+	}
+}
+
+// QueueDepthStats reports queue q's time-weighted mean and peak inflight
+// depth from the trace timeline; without a tracer the mean is 0 and the
+// peak falls back to the always-on inflight counter.
+func (i *Interface) QueueDepthStats(q int) (mean float64, peak int) {
+	qs := i.qs[q]
+	if i.tr == nil {
+		return 0, qs.inflightPeak
+	}
+	return i.tr.DepthStats(qs.res, i.k.Now())
 }
 
 // resetQueueMeasurement starts a fresh measured window for one queue (the

@@ -64,6 +64,13 @@ type Stats struct {
 	Erases     uint64
 	BusyTime   sim.Time
 	MultiPlane uint64
+
+	// Per-operation busy-time split: ReadTime + ProgramTime + EraseTime ==
+	// BusyTime. The utilization layer cross-checks its interval recording
+	// against these always-on counters.
+	ReadTime    sim.Time
+	ProgramTime sim.Time
+	EraseTime   sim.Time
 }
 
 // Die is the cycle-accurate model of one NAND die: a state machine that is
@@ -195,6 +202,7 @@ func (d *Die) Read(a Addr, done func()) (sim.Time, error) {
 	}
 	dur := d.jitter(d.tim.TReadArray)
 	d.Stats.Reads++
+	d.Stats.ReadTime += dur
 	d.begin(dur, done)
 	return dur, nil
 }
@@ -222,6 +230,7 @@ func (d *Die) Program(a Addr, done func()) (sim.Time, error) {
 	blk.pages[a.Page] = pageProgrammed
 	blk.nextPage++
 	d.Stats.Programs++
+	d.Stats.ProgramTime += dur
 	d.begin(dur, done)
 	return dur, nil
 }
@@ -277,6 +286,7 @@ func (d *Die) MultiPlaneProgram(addrs []Addr, done func()) (sim.Time, error) {
 		d.Stats.Programs++
 	}
 	d.Stats.MultiPlane++
+	d.Stats.ProgramTime += dur
 	d.begin(dur, done)
 	return dur, nil
 }
@@ -299,6 +309,7 @@ func (d *Die) EraseBlock(planeIdx, blockIdx int, done func()) (sim.Time, error) 
 	blk.nextPage = 0
 	blk.peCycles++
 	d.Stats.Erases++
+	d.Stats.EraseTime += dur
 	d.begin(dur, done)
 	return dur, nil
 }

@@ -91,12 +91,19 @@ type Span struct {
 	start sim.Time
 	mark  sim.Time
 	acc   [NumStages]sim.Time
+
+	// Flow, when non-zero, is the owning command's trace-flow id: resource
+	// instrumentation stamps flow steps with it so the event tracer can draw
+	// the command's path across resources. Zero (the default) means
+	// untraced.
+	Flow int64
 }
 
 // Start pins the span's origin (and watermark) to t.
 func (s *Span) Start(t sim.Time) {
 	s.start, s.mark = t, t
 	s.acc = [NumStages]sim.Time{}
+	s.Flow = 0
 }
 
 // Advance charges the time since the watermark to stage st and raises the

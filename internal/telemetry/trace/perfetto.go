@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// WritePerfetto serializes the raw event buffer as Chrome trace-event JSON,
+// the format ui.perfetto.dev (and chrome://tracing) open directly. Resources
+// become threads of a "device" process with one complete slice per busy
+// interval, submission-queue depths become counter tracks, and command
+// lifetimes become async spans on a "commands" process connected to the
+// resource slices they touched by flow arrows.
+//
+// The output is a pure function of the recorded simulation events — no wall
+// clock, no map iteration — so a fixed-seed run serializes byte-identically
+// (the determinism golden relies on it). Timestamps are picoseconds printed
+// as microseconds with six decimals, which is exact.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil tracer")
+	}
+	if !t.opt.Events {
+		return fmt.Errorf("trace: event buffer disabled (Options.Events=false)")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Track metadata: one process for the device's resources, one for
+	// command lifetimes; each resource is a named thread.
+	emit(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"device"}}`)
+	emit(`{"ph":"M","pid":2,"name":"process_name","args":{"name":"commands"}}`)
+	emit(`{"ph":"M","pid":2,"tid":1,"name":"thread_name","args":{"name":"inflight"}}`)
+	for i, r := range t.res {
+		emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			i+1, r.kind.String()+":"+r.name)
+		emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			i+1, i)
+	}
+
+	// Events, in kernel (time) order. Flow arrows need to know each flow's
+	// step count up front to pick start/step/end phases.
+	seen := make(map[int64]int32, len(t.flows))
+	for _, e := range t.events {
+		switch e.kind {
+		case evSlice:
+			emit(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%q}`,
+				e.res+1, psUS(e.start), psUS(e.end-e.start), e.op.String())
+		case evCounter:
+			emit(`{"ph":"C","pid":1,"ts":%s,"name":%q,"args":{"depth":%d}}`,
+				psUS(e.start), t.res[e.res].name+" depth", e.depth)
+		case evFlow:
+			total := t.flows[e.flow]
+			if total < 2 {
+				continue // an arrow needs two endpoints
+			}
+			seen[e.flow]++
+			switch n := seen[e.flow]; {
+			case n == 1:
+				emit(`{"ph":"s","cat":"cmd","name":"flow","id":%d,"pid":1,"tid":%d,"ts":%s}`,
+					e.flow, e.res+1, psUS(e.start))
+			case n == total:
+				emit(`{"ph":"f","bp":"e","cat":"cmd","name":"flow","id":%d,"pid":1,"tid":%d,"ts":%s}`,
+					e.flow, e.res+1, psUS(e.start))
+			default:
+				emit(`{"ph":"t","cat":"cmd","name":"flow","id":%d,"pid":1,"tid":%d,"ts":%s}`,
+					e.flow, e.res+1, psUS(e.start))
+			}
+		case evCmdBegin:
+			emit(`{"ph":"b","cat":"cmd","id":%d,"pid":2,"tid":1,"ts":%s,"name":%q}`,
+				e.flow, psUS(e.start), e.op.String())
+		case evCmdEnd:
+			emit(`{"ph":"e","cat":"cmd","id":%d,"pid":2,"tid":1,"ts":%s,"name":"cmd"}`,
+				e.flow, psUS(e.start))
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// psUS prints a picosecond timestamp as microseconds with six decimals —
+// exact, and immune to float rounding drift.
+func psUS(t sim.Time) string {
+	return fmt.Sprintf("%d.%06d", t/1_000_000, t%1_000_000)
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const us = sim.Time(1_000_000) // 1 µs in picoseconds
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Register(KindDie, "d0"); id != -1 {
+		t.Fatalf("nil Register = %d, want -1", id)
+	}
+	tr.Interval(0, OpRead, 0, us)
+	tr.Depth(0, 3, us)
+	tr.FlowStep(0, 1, us)
+	tr.CommandStart(1, OpRead, 0)
+	tr.CommandEnd(1, us)
+	if rep := tr.Report(us); rep != nil {
+		t.Fatalf("nil Report = %v, want nil", rep)
+	}
+}
+
+func TestIntervalAggregation(t *testing.T) {
+	tr := New(Options{})
+	d0 := tr.Register(KindDie, "d0")
+	d1 := tr.Register(KindDie, "d1")
+	bus := tr.Register(KindBus, "ch0-bus")
+
+	tr.Interval(d0, OpProgram, 0, 50*us)       // 50% of 100us
+	tr.Interval(d0, OpGCProgram, 50*us, 60*us) // 10%
+	tr.Interval(d1, OpRead, 0, 20*us)          // 20%
+	tr.Interval(bus, OpXfer, 0, 25*us)         // 25%
+
+	rep := tr.Report(100 * us)
+	if got, want := rep.SimNS, 100_000.0; got != want {
+		t.Fatalf("SimNS = %v, want %v", got, want)
+	}
+	// NAND mean: (0.6 + 0.2) / 2 = 0.4
+	if got := rep.NANDUtil; got < 0.399 || got > 0.401 {
+		t.Fatalf("NANDUtil = %v, want 0.4", got)
+	}
+	if got := rep.BusUtil; got < 0.249 || got > 0.251 {
+		t.Fatalf("BusUtil = %v, want 0.25", got)
+	}
+	// GC share: 10us GC out of 80us die busy.
+	if got := rep.GCFrac; got < 0.124 || got > 0.126 {
+		t.Fatalf("GCFrac = %v, want 0.125", got)
+	}
+	if rep.Heatmap == nil || len(rep.Heatmap.Rows) != 2 {
+		t.Fatalf("Heatmap rows = %v, want 2 die rows", rep.Heatmap)
+	}
+	r0 := rep.Resources[0]
+	if r0.Name != "d0" || r0.Kind != "die" || r0.Ops != 2 {
+		t.Fatalf("resource[0] = %+v", r0)
+	}
+	if got := r0.OpFrac["gc_program"]; got < 0.099 || got > 0.101 {
+		t.Fatalf("d0 gc_program frac = %v, want 0.1", got)
+	}
+}
+
+func TestTimelineRescaleConservesBusyTime(t *testing.T) {
+	tr := New(Options{Bins: 8})
+	d := tr.Register(KindDie, "d0")
+	// 8 bins x 1us = 8us initial coverage; record far beyond it so the
+	// timeline rescales several times, then check total time is conserved.
+	var want sim.Time
+	for i := sim.Time(0); i < 100; i++ {
+		start := i * 3 * us
+		tr.Interval(d, OpProgram, start, start+us)
+		want += us
+	}
+	var got sim.Time
+	for _, b := range tr.res[d].tl.bins {
+		got += b
+	}
+	if got != want {
+		t.Fatalf("timeline busy after rescale = %v, want %v", got, want)
+	}
+	// Heatmap fractions stay in [0, 1].
+	rep := tr.Report(300 * us)
+	for _, row := range rep.Heatmap.Frac {
+		for _, f := range row {
+			if f < 0 || f > 1.0000001 {
+				t.Fatalf("heatmap frac out of range: %v", f)
+			}
+		}
+	}
+}
+
+func TestDepthStats(t *testing.T) {
+	tr := New(Options{})
+	q := tr.Register(KindSQ, "tenant0-sq")
+	tr.Depth(q, 4, 0)
+	tr.Depth(q, 8, 50*us)
+	tr.Depth(q, 0, 75*us)
+	mean, peak := tr.DepthStats(q, 100*us)
+	// 4 for 50us, 8 for 25us, 0 for 25us => (200+200+0)/100 = 4.
+	if mean < 3.99 || mean > 4.01 {
+		t.Fatalf("depth mean = %v, want 4", mean)
+	}
+	if peak != 8 {
+		t.Fatalf("depth peak = %d, want 8", peak)
+	}
+}
+
+func TestEventCapDrops(t *testing.T) {
+	tr := New(Options{Events: true, MaxEvents: 4})
+	d := tr.Register(KindDie, "d0")
+	for i := sim.Time(0); i < 10; i++ {
+		tr.Interval(d, OpRead, i*us, (i+1)*us)
+	}
+	logged, dropped := tr.EventCount()
+	if logged != 4 || dropped != 6 {
+		t.Fatalf("logged/dropped = %d/%d, want 4/6", logged, dropped)
+	}
+	// Aggregates ignore the cap.
+	rep := tr.Report(10 * us)
+	if got := rep.Resources[0].BusyFrac; got < 0.999 || got > 1.001 {
+		t.Fatalf("BusyFrac = %v, want 1.0 despite event drops", got)
+	}
+	if rep.Profile.EventsDropped != 6 {
+		t.Fatalf("Profile.EventsDropped = %d, want 6", rep.Profile.EventsDropped)
+	}
+}
+
+func TestPerfettoValidAndDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(Options{Events: true})
+		d := tr.Register(KindDie, "ch0-die0")
+		b := tr.Register(KindBus, "ch0-bus")
+		q := tr.Register(KindSQ, "sq0")
+		tr.CommandStart(7, OpProgram, 0)
+		tr.Depth(q, 1, 0)
+		tr.FlowStep(b, 7, 10*us)
+		tr.Interval(b, OpXfer, 10*us, 12*us)
+		tr.FlowStep(d, 7, 12*us)
+		tr.Interval(d, OpProgram, 12*us, 30*us)
+		tr.Depth(q, 0, 30*us)
+		tr.CommandEnd(7, 30*us)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WritePerfetto(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recordings serialized differently")
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatalf("invalid JSON:\n%s", a.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["X"] != 2 || phases["s"] != 1 || phases["f"] != 1 ||
+		phases["C"] != 2 || phases["b"] != 1 || phases["e"] != 1 {
+		t.Fatalf("phase counts = %v", phases)
+	}
+	if !strings.Contains(a.String(), `"die:ch0-die0"`) {
+		t.Fatalf("missing die track name:\n%s", a.String())
+	}
+	// Timestamp format: 12us = 12.000000.
+	if !strings.Contains(a.String(), `"ts":12.000000`) {
+		t.Fatalf("expected exact microsecond timestamps:\n%s", a.String())
+	}
+}
+
+func TestPerfettoRequiresEvents(t *testing.T) {
+	tr := New(Options{})
+	if err := tr.WritePerfetto(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error with Options.Events=false")
+	}
+}

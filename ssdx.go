@@ -26,6 +26,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/nvme"
 	"repro/internal/telemetry"
+	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -335,5 +336,54 @@ func Explore(ctx context.Context, s Space, workers int) ([]Eval, error) {
 	return r.RunSpace(ctx, s)
 }
 
+// --- device-wide event tracing ----------------------------------------------
+//
+// The telemetry/trace layer records busy/idle intervals on every modeled
+// resource (NAND dies per op kind, ONFI buses, DRAM, ECC, CPU, AHB, host
+// link, per-tenant submission queues), aggregates them into fixed-memory
+// utilization timelines, and optionally keeps a bounded raw event buffer
+// that exports as Chrome trace-event JSON openable in ui.perfetto.dev.
+// Tracing is off by default and costs nothing when off; enable it per
+// platform with Platform.EnableTracing.
+
+// TraceOptions configures device-wide event tracing (raw event capture
+// on/off, event cap, timeline bin count).
+type TraceOptions = evtrace.Options
+
+// Tracer records busy intervals and queue depths across the platform.
+type Tracer = evtrace.Tracer
+
+// UtilizationReport is the aggregated tracing outcome carried in
+// Result.Utilization: per-resource busy fractions and op mixes, the die×time
+// heatmap, GC share of die busy time, and the simulator self-profile.
+type UtilizationReport = evtrace.Report
+
+// ResourceUtil is one resource's row of a UtilizationReport.
+type ResourceUtil = evtrace.ResourceUtil
+
+// TraceRun builds a platform, enables tracing with raw event capture, runs
+// the workload and returns both the result (carrying Result.Utilization) and
+// the tracer, ready for Tracer.WritePerfetto.
+func TraceRun(cfg Config, w Workload, mode Mode) (Result, *Tracer, error) {
+	p, err := core.Build(cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	tr := p.EnableTracing(TraceOptions{Events: true})
+	res, err := p.Run(w, mode)
+	return res, tr, err
+}
+
+// TraceRunTenants is TraceRun for a multi-queue tenant scenario.
+func TraceRunTenants(cfg Config, set TenantSet, mode Mode) (Result, *Tracer, error) {
+	p, err := core.Build(cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	tr := p.EnableTracing(TraceOptions{Events: true})
+	res, err := p.RunTenants(set, mode)
+	return res, tr, err
+}
+
 // Version identifies the reproduction release.
-const Version = "1.5.0"
+const Version = "1.6.0"
