@@ -223,12 +223,19 @@ func TestSpeedHarnessSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 8 {
+	// Eight serial Table III rows plus the two largest configs re-measured
+	// on the sharded parallel core.
+	if len(rows) != 10 {
 		t.Fatalf("rows %d", len(rows))
 	}
 	// Shape: small configs simulate faster than the 8192-die monster.
 	if rows[0].KCPS <= rows[7].KCPS {
 		t.Fatalf("KCPS not decreasing: C1 %.0f vs C8 %.0f", rows[0].KCPS, rows[7].KCPS)
+	}
+	for _, r := range rows[8:] {
+		if !r.Parallel || r.Workers < 1 || r.KCPS <= 0 {
+			t.Fatalf("parallel row malformed: %+v", r)
+		}
 	}
 	var sb strings.Builder
 	WriteSpeedTable(&sb, rows)

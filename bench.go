@@ -30,10 +30,16 @@ type BenchReport struct {
 	Rows    []SpeedRow `json:"rows"`
 }
 
-// MeasureBench runs the simulation-speed experiment (sequentially, uncached)
-// and packages it as a bench report.
+// MeasureBench runs the simulation-speed experiment (one measurement at a
+// time, uncached) and packages it as a bench report.
 func MeasureBench(scale float64) (BenchReport, error) {
-	rows, err := SimulationSpeed(scale)
+	return MeasureBenchRows(scale, false)
+}
+
+// MeasureBenchRows is MeasureBench with the parallel sweep widened to every
+// configuration (cmd/simspeed -parallel).
+func MeasureBenchRows(scale float64, parallelAll bool) (BenchReport, error) {
+	rows, err := SimulationSpeedRows(scale, parallelAll)
 	if err != nil {
 		return BenchReport{}, err
 	}
@@ -78,48 +84,61 @@ func LoadBenchJSON(path string) (BenchReport, error) {
 	return ReadBenchJSON(f)
 }
 
-// CompareBench checks a fresh report against a baseline: the configuration
-// roster must match, and each configuration's KCPS must stay within a factor
-// of tol of the baseline (tol >= 1; e.g. 8 tolerates any host-speed spread
-// short of an order of magnitude). Only speed ratios are compared — absolute
-// KCPS, event counts and wall times are host- and version-dependent by
-// design. Returns the per-configuration verdict lines and an error when any
-// configuration regressed beyond tolerance.
+// CompareBench checks a fresh report against a baseline: every baseline
+// configuration must be present, and each one's per-worker KCPS must stay
+// within a factor of tol of the baseline (tol >= 1; e.g. 8 tolerates any
+// host-speed spread short of an order of magnitude). Speeds are normalized
+// by the recorded worker count before comparing, so a baseline captured on a
+// one-core machine still guards a measurement from a many-core one: the
+// per-worker ratio tracks simulator efficiency, not host parallelism. Only
+// ratios are compared — absolute KCPS, event counts and wall times are host-
+// and version-dependent by design. Rows measured but absent from the
+// baseline (e.g. a wider -parallel sweep) are reported and skipped. Returns
+// the per-configuration verdict lines and an error when any configuration
+// regressed beyond tolerance.
 func CompareBench(got, baseline BenchReport, tol float64) ([]string, error) {
 	if tol < 1 {
 		tol = 1
 	}
-	base := make(map[string]SpeedRow, len(baseline.Rows))
-	for _, r := range baseline.Rows {
-		base[r.Name] = r
+	perWorker := func(r SpeedRow) float64 {
+		w := r.Workers
+		if w < 1 {
+			w = 1
+		}
+		return r.KCPS / float64(w)
 	}
+	have := make(map[string]SpeedRow, len(got.Rows))
+	for _, r := range got.Rows {
+		have[r.Name] = r
+	}
+	inBase := make(map[string]bool, len(baseline.Rows))
 	var lines []string
 	var failed []string
-	for _, r := range got.Rows {
-		b, ok := base[r.Name]
+	for _, b := range baseline.Rows {
+		inBase[b.Name] = true
+		r, ok := have[b.Name]
 		if !ok {
-			failed = append(failed, r.Name)
-			lines = append(lines, fmt.Sprintf("%-5s FAIL: not in baseline", r.Name))
+			failed = append(failed, b.Name)
+			lines = append(lines, fmt.Sprintf("%-8s FAIL: baseline row missing from measurement", b.Name))
 			continue
 		}
-		if b.KCPS <= 0 || r.KCPS <= 0 {
-			failed = append(failed, r.Name)
-			lines = append(lines, fmt.Sprintf("%-5s FAIL: non-positive KCPS (got %.1f, base %.1f)", r.Name, r.KCPS, b.KCPS))
+		if perWorker(b) <= 0 || perWorker(r) <= 0 {
+			failed = append(failed, b.Name)
+			lines = append(lines, fmt.Sprintf("%-8s FAIL: non-positive KCPS (got %.1f, base %.1f)", b.Name, r.KCPS, b.KCPS))
 			continue
 		}
-		ratio := r.KCPS / b.KCPS
+		ratio := perWorker(r) / perWorker(b)
 		verdict := "ok"
 		if ratio < 1/tol {
 			verdict = "FAIL: slowdown"
-			failed = append(failed, r.Name)
+			failed = append(failed, b.Name)
 		}
-		lines = append(lines, fmt.Sprintf("%-5s %s: %.0f KCPS vs baseline %.0f (x%.2f, tol x%.1f)",
-			r.Name, verdict, r.KCPS, b.KCPS, ratio, tol))
+		lines = append(lines, fmt.Sprintf("%-8s %s: %.0f KCPS/worker vs baseline %.0f (x%.2f, tol x%.1f)",
+			b.Name, verdict, perWorker(r), perWorker(b), ratio, tol))
 	}
-	if len(got.Rows) != len(baseline.Rows) {
-		lines = append(lines, fmt.Sprintf("row count: got %d, baseline %d", len(got.Rows), len(baseline.Rows)))
-		if len(got.Rows) < len(baseline.Rows) {
-			failed = append(failed, "missing-rows")
+	for _, r := range got.Rows {
+		if !inBase[r.Name] {
+			lines = append(lines, fmt.Sprintf("%-8s skip: not in baseline", r.Name))
 		}
 	}
 	if len(failed) > 0 {

@@ -57,19 +57,32 @@ func TestBenchReportRoundTripAndCompare(t *testing.T) {
 }
 
 // TestCommittedBenchBaselineParses pins the committed baseline file: it must
-// stay parseable with the current schema and cover the full Table III
-// roster, or the CI bench check would silently compare against nothing.
+// stay parseable with the current schema, cover the full Table III roster
+// serially, and carry at least one sharded-parallel row, or the CI bench
+// check would silently compare against nothing.
 func TestCommittedBenchBaselineParses(t *testing.T) {
 	rep, err := LoadBenchJSON("BENCH_simspeed.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != len(TableIII()) {
-		t.Fatalf("baseline has %d rows, Table III has %d", len(rep.Rows), len(TableIII()))
-	}
+	serial, par := 0, 0
 	for _, r := range rep.Rows {
 		if r.KCPS <= 0 {
 			t.Errorf("baseline row %s has non-positive KCPS", r.Name)
 		}
+		if r.Parallel {
+			par++
+			if r.Workers < 1 {
+				t.Errorf("parallel baseline row %s has no worker count", r.Name)
+			}
+		} else {
+			serial++
+		}
+	}
+	if serial != len(TableIII()) {
+		t.Fatalf("baseline has %d serial rows, Table III has %d", serial, len(TableIII()))
+	}
+	if par == 0 {
+		t.Fatal("baseline has no sharded-parallel rows")
 	}
 }

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	ssdx "repro"
 )
@@ -24,6 +26,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the ssdx-bench JSON report instead of the table")
 	check := flag.String("check", "", "compare against a baseline bench JSON file and fail on regression")
 	tol := flag.Float64("tol", 8, "allowed KCPS slowdown factor for -check (host noise tolerance)")
+	parallel := flag.Bool("parallel", false, "measure every configuration on the sharded parallel event core too (default: only the two largest)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the measurement to this file")
 	flag.Parse()
 	if *list {
 		fmt.Println("# Table III — simulation-speed configurations")
@@ -32,9 +37,37 @@ func main() {
 		}
 		return
 	}
-	rep, err := ssdx.MeasureBench(*scale)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	rep, err := ssdx.MeasureBenchRows(*scale, *parallel)
 	if err != nil {
 		fatal(err)
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile() // flush before reporting; the deferred stop is a no-op
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects live state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *jsonOut {
 		if err := ssdx.WriteBenchJSON(os.Stdout, rep); err != nil {

@@ -45,6 +45,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print microarchitectural detail")
 		utilFlag   = flag.Bool("utilization", false, "trace device-wide utilization and print the per-resource report")
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file of the run (implies tracing)")
+		parallel   = flag.Bool("parallel", false, "run on the sharded per-channel event core (conservative-lookahead parallel kernel)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,9 @@ func main() {
 	cfg, err := resolveConfig(*configPath, *preset)
 	if err != nil {
 		fatal(err)
+	}
+	if *parallel {
+		cfg.Parallel = true
 	}
 	if *dump {
 		if err := cfg.Render(os.Stdout); err != nil {

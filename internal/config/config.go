@@ -86,6 +86,18 @@ type Platform struct {
 	// Pre-aged NAND wear (normalised rated endurance, Fig. 5 x-axis).
 	Wear float64
 
+	// Parallel switches the event core to per-channel clock domains
+	// synchronized with conservative lookahead: each ONFI channel runs its
+	// own event kernel, and cross-domain interactions travel as timestamped
+	// messages with at least ParallelLookaheadNS of modeled hand-off
+	// latency. ParallelWorkers sets the goroutine count (0 = GOMAXPROCS);
+	// ParallelLookaheadNS sets the hand-off latency in nanoseconds
+	// (0 = default 1000ns). Serial mode (Parallel false) keeps the single
+	// monolithic kernel and is the timing-validated path.
+	Parallel            bool
+	ParallelWorkers     int
+	ParallelLookaheadNS int
+
 	Seed uint64
 }
 
@@ -184,6 +196,9 @@ func (p Platform) Validate() error {
 	}
 	if p.MapperBlocksPerUnit < 0 {
 		return fmt.Errorf("config: negative mapper block restriction")
+	}
+	if p.ParallelWorkers < 0 || p.ParallelLookaheadNS < 0 {
+		return fmt.Errorf("config: negative parallel workers/lookahead")
 	}
 	return nil
 }
@@ -368,6 +383,12 @@ func (p *Platform) set(key, value string) error {
 		p.WriteCachePages, err = atoi()
 	case "wear":
 		p.Wear, err = atof()
+	case "parallel":
+		p.Parallel, err = strconv.ParseBool(value)
+	case "parallel_workers":
+		p.ParallelWorkers, err = atoi()
+	case "parallel_lookahead_ns":
+		p.ParallelLookaheadNS, err = atoi()
 	case "seed":
 		var v uint64
 		v, err = strconv.ParseUint(value, 10, 64)
@@ -408,6 +429,9 @@ func (p Platform) Render(w io.Writer) error {
 		"write_cache_pages":      strconv.Itoa(p.WriteCachePages),
 		"ahb_layers":             strconv.Itoa(p.AHBLayers),
 		"wear":                   strconv.FormatFloat(p.Wear, 'g', -1, 64),
+		"parallel":               strconv.FormatBool(p.Parallel),
+		"parallel_workers":       strconv.Itoa(p.ParallelWorkers),
+		"parallel_lookahead_ns":  strconv.Itoa(p.ParallelLookaheadNS),
 		"seed":                   strconv.FormatUint(p.Seed, 10),
 	}
 	keys := make([]string, 0, len(kv))

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	evtrace "repro/internal/telemetry/trace"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// scrubWall zeroes the wall-clock-dependent result fields so serial- and
+// parallel-driver runs compare on simulated outcome alone.
+func scrubWall(r *Result) {
+	r.WallSeconds, r.KCPS = 0, 0
+	if r.Utilization != nil {
+		r.Utilization.Profile.WallSeconds = 0
+		r.Utilization.Profile.EventsPerSec = 0
+		r.Utilization.Profile.SimNSPerWallMS = 0
+	}
+}
+
+// runDomains builds the platform in parallel (domain) mode with the given
+// worker count, runs the workload with event tracing on, and returns the
+// scrubbed result plus the Perfetto export bytes.
+func runDomains(t *testing.T, cfg config.Platform, w workload.Spec, mode Mode, workers int) (Result, []byte) {
+	t.Helper()
+	cfg.Parallel = true
+	cfg.ParallelWorkers = workers
+	p, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("build (workers=%d): %v", workers, err)
+	}
+	tr := p.EnableTracing(evtrace.Options{Events: true})
+	res, err := p.Run(w, mode)
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatalf("perfetto export (workers=%d): %v", workers, err)
+	}
+	scrubWall(&res)
+	return res, buf.Bytes()
+}
+
+// TestParallelDeterminism pins the sharded core's central guarantee: for a
+// fixed seed, the serial domain driver (workers=1) and the parallel driver
+// produce identical results — the full Result struct and the byte-exact
+// Perfetto event trace — across topologies, FTL modes and access patterns.
+func TestParallelDeterminism(t *testing.T) {
+	mapperCfg := func(name string) config.Platform {
+		cfg, err := config.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FTLMode = "mapper"
+		cfg.MapperBlocksPerUnit = 6
+		// Small managed space with generous spare so the mapper's minimum
+		// spare-page floor holds on the restricted topology and GC kicks in
+		// quickly.
+		cfg.SpareFactor = 0.45
+		return cfg
+	}
+	preset := func(name string) config.Platform {
+		cfg, err := config.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  config.Platform
+		w    workload.Spec
+		mode Mode
+	}{
+		{"seqwrite-waf-c3", preset("t3:C3"),
+			workload.Patterned(trace.SeqWrite, 4096, 1<<26, 600, 7), ModeFull},
+		{"randwrite-waf-c4", preset("t3:C4"),
+			workload.Patterned(trace.RandWrite, 4096, 1<<24, 400, 11), ModeFull},
+		{"randread-waf-c4", preset("t3:C4"),
+			workload.Patterned(trace.RandRead, 4096, 1<<24, 400, 13), ModeFull},
+		{"seqwrite-vertex-ecc", preset("vertex"),
+			workload.Patterned(trace.SeqWrite, 4096, 1<<26, 400, 17), ModeFull},
+		{"randwrite-mapper-c3", mapperCfg("t3:C3"),
+			workload.Patterned(trace.RandWrite, 4096, 1<<22, 400, 19), ModeFull},
+		{"drain-write-c4", preset("t3:C4"),
+			workload.Patterned(trace.SeqWrite, 4096, 1<<24, 256, 23), ModeDDRFlash},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, refTrace := runDomains(t, tc.cfg, tc.w, tc.mode, 1)
+			if ref.Completed == 0 {
+				t.Fatal("reference run completed nothing")
+			}
+			for _, workers := range []int{2, 4} {
+				got, gotTrace := runDomains(t, tc.cfg, tc.w, tc.mode, workers)
+				if !reflect.DeepEqual(ref, got) {
+					t.Errorf("workers=%d Result diverged from serial driver:\nserial:   %+v\nparallel: %+v",
+						workers, ref, got)
+				}
+				if !bytes.Equal(refTrace, gotTrace) {
+					t.Errorf("workers=%d Perfetto export differs (%d vs %d bytes)",
+						workers, len(refTrace), len(gotTrace))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelModeRuns smokes the domain core end to end without tracing and
+// checks the bookkeeping the bench rows rely on.
+func TestParallelModeRuns(t *testing.T) {
+	cfg, err := config.Preset("t3:C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = true
+	cfg.ParallelWorkers = 2
+	w := workload.Patterned(trace.SeqWrite, 4096, 1<<26, 500, 7)
+	res, err := RunWorkload(cfg, w, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 500 || res.Events == 0 || res.SimTime == 0 {
+		t.Fatalf("implausible parallel result: %+v", res)
+	}
+	if res.MBps <= 0 {
+		t.Fatalf("no throughput measured: %v", res.MBps)
+	}
+}
+
+// TestParallelRejectsReplay pins the documented restriction: trace replay
+// reads die state from the hub mid-run, which the sharded core cannot allow.
+func TestParallelRejectsReplay(t *testing.T) {
+	cfg := config.Default()
+	cfg.Parallel = true
+	p, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Spec{TracePath: "testdata/nonexistent.trace",
+		BlockSize: 4096, SpanBytes: 1 << 20, Requests: 1}
+	if _, err := p.Run(w, ModeFull); err == nil {
+		t.Fatal("parallel replay did not error")
+	}
+}
+
+// TestParallelLookaheadConfig checks the config plumbing: an explicit
+// lookahead reaches the domain set, and zero resolves to the default.
+func TestParallelLookaheadConfig(t *testing.T) {
+	cfg := config.Default()
+	cfg.Parallel = true
+	cfg.ParallelLookaheadNS = 250
+	p, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ds.Lookahead(); got != 250*1000 {
+		t.Fatalf("lookahead = %v ps, want 250ns", got)
+	}
+	cfg.ParallelLookaheadNS = 0
+	p, err = Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ds.Lookahead(); got != defaultLookaheadNS*1000 {
+		t.Fatalf("default lookahead = %v ps, want %dns", got, defaultLookaheadNS)
+	}
+}

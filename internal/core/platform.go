@@ -80,6 +80,16 @@ type Platform struct {
 	eccNext    int
 	scheme     ecc.Scheme
 
+	// Parallel event core (nil/empty in the default monolithic mode). ds is
+	// the domain coordinator; K aliases the hub domain's kernel so all
+	// hub-side code runs unchanged. See parallel.go.
+	ds         *sim.DomainSet
+	handoff    sim.Time
+	shardBuses []*amba.Bus
+	shardDRAM  []*dram.Buffer
+	shardECC   []*eccPool
+	traceSinks []*evtrace.Tracer
+
 	wafModel *ftl.Model
 	mapper   *mapperFTL       // non-nil in ftl_mode = mapper
 	firmware *cpu.FirmwareFTL // non-nil in cpu_model = firmware
@@ -144,6 +154,18 @@ func Build(cfg config.Platform) (*Platform, error) {
 		return nil, err
 	}
 	p := &Platform{Cfg: cfg, K: sim.NewKernel(), rng: sim.NewRNG(cfg.Seed)}
+	if cfg.Parallel {
+		// Per-channel clock domains with conservative lookahead; the hand-off
+		// latency doubles as the window width. The hub (domain 0) kernel
+		// replaces the monolithic one so hub-side models build unchanged.
+		ns := cfg.ParallelLookaheadNS
+		if ns == 0 {
+			ns = defaultLookaheadNS
+		}
+		p.handoff = sim.Time(ns) * sim.Nanosecond
+		p.ds = sim.NewDomainSet(1+cfg.Channels, p.handoff, cfg.ParallelWorkers)
+		p.K = p.ds.Domain(0).K
+	}
 
 	// NAND geometry and timing.
 	p.geo = nand.DefaultGeometry()
@@ -178,10 +200,48 @@ func Build(cfg config.Platform) (*Platform, error) {
 		return nil, err
 	}
 
-	// DRAM buffer pool.
-	p.DRAM, err = dram.NewPool(p.K, cfg.DDRBuffers, dram.DDR2_800x16(64<<20))
+	// DRAM buffer pool. In parallel mode each channel domain owns a private
+	// buffer (see buildDomains); the hub keeps one staging buffer for the
+	// host DMA path.
+	nbuf := cfg.DDRBuffers
+	if p.ds != nil {
+		nbuf = 1
+	}
+	p.DRAM, err = dram.NewPool(p.K, nbuf, dram.DDR2_800x16(64<<20))
 	if err != nil {
 		return nil, err
+	}
+
+	// ECC scheme and hub engine pool (built before the channels so parallel
+	// mode can size the per-shard pools from the resolved scheme).
+	if cfg.ECCScheme != "none" {
+		var lat ecc.LatencyModel
+		if cfg.ECCLatency == "bit-serial" {
+			lat = ecc.BitSerialLatency()
+		} else {
+			lat = ecc.ByteParallelLatency()
+		}
+		switch cfg.ECCScheme {
+		case "fixed":
+			p.scheme = ecc.FixedBCH{T: cfg.ECCT, Lat: lat}
+		case "adaptive":
+			tbl, err := ecc.BuildCorrectionTable(ecc.TableParams{
+				CodewordBits: 8192 + 14*cfg.ECCT,
+				TMax:         cfg.ECCT,
+				TStep:        4,
+				TargetCFR:    1e-15,
+				Buckets:      64,
+				RBER:         p.tim.RBER,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p.scheme = ecc.AdaptiveBCH{Table: tbl, Lat: lat}
+		}
+		for i := 0; i < cfg.ECCEngines; i++ {
+			p.eccEngines = append(p.eccEngines,
+				sim.NewServer(p.K, nil, fmt.Sprintf("ecc%d", i)))
+		}
 	}
 
 	// Channel/way controllers and the NAND array.
@@ -189,23 +249,29 @@ func Build(cfg config.Platform) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	for c := 0; c < cfg.Channels; c++ {
-		m, err := bus.AttachMaster(fmt.Sprintf("ppdma%d", c))
-		if err != nil {
+	if p.ds != nil {
+		if err := p.buildDomains(gang); err != nil {
 			return nil, err
 		}
-		ch, err := ctrl.New(p.K, c, ctrl.Config{
-			Ways:       cfg.Ways,
-			DiesPerWay: cfg.DiesPerWay,
-			Gang:       gang,
-		}, p.geo, p.tim, m, p.DRAM.ForChannel(c), p.rng.Fork(uint64(c+101)))
-		if err != nil {
-			return nil, err
+	} else {
+		for c := 0; c < cfg.Channels; c++ {
+			m, err := bus.AttachMaster(fmt.Sprintf("ppdma%d", c))
+			if err != nil {
+				return nil, err
+			}
+			ch, err := ctrl.New(p.K, c, ctrl.Config{
+				Ways:       cfg.Ways,
+				DiesPerWay: cfg.DiesPerWay,
+				Gang:       gang,
+			}, p.geo, p.tim, m, p.DRAM.ForChannel(c), p.rng.Fork(uint64(c+101)))
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Wear > 0 {
+				ch.SetWear(cfg.Wear)
+			}
+			p.Channels = append(p.Channels, ch)
 		}
-		if cfg.Wear > 0 {
-			ch.SetWear(cfg.Wear)
-		}
-		p.Channels = append(p.Channels, ch)
 	}
 
 	// Host interface.
@@ -236,37 +302,6 @@ func Build(cfg config.Platform) (*Platform, error) {
 		p.firmware, err = cpu.NewFirmwareFTL(fwPages, p.totalDies, 1<<20)
 		if err != nil {
 			return nil, err
-		}
-	}
-
-	// ECC scheme and engine pool.
-	if cfg.ECCScheme != "none" {
-		var lat ecc.LatencyModel
-		if cfg.ECCLatency == "bit-serial" {
-			lat = ecc.BitSerialLatency()
-		} else {
-			lat = ecc.ByteParallelLatency()
-		}
-		switch cfg.ECCScheme {
-		case "fixed":
-			p.scheme = ecc.FixedBCH{T: cfg.ECCT, Lat: lat}
-		case "adaptive":
-			tbl, err := ecc.BuildCorrectionTable(ecc.TableParams{
-				CodewordBits: 8192 + 14*cfg.ECCT,
-				TMax:         cfg.ECCT,
-				TStep:        4,
-				TargetCFR:    1e-15,
-				Buckets:      64,
-				RBER:         p.tim.RBER,
-			})
-			if err != nil {
-				return nil, err
-			}
-			p.scheme = ecc.AdaptiveBCH{Table: tbl, Lat: lat}
-		}
-		for i := 0; i < cfg.ECCEngines; i++ {
-			p.eccEngines = append(p.eccEngines,
-				sim.NewServer(p.K, nil, fmt.Sprintf("ecc%d", i)))
 		}
 	}
 
@@ -413,6 +448,10 @@ func (p *Platform) flashWrite(sp *telemetry.Span, done func()) {
 // synchronously, so per-die program order always equals allocation order —
 // pushing the ECC encode latency into the controller's prep stage.
 func (p *Platform) issueWrite(gdie int, pages []writePage) {
+	if p.ds != nil {
+		p.issueWriteDomains(gdie, pages)
+		return
+	}
 	ch, die := p.chanDie(gdie)
 	addrs, erases := p.alloc.Batch(gdie, len(pages))
 	for len(addrs) < len(pages) {
@@ -494,6 +533,10 @@ func (p *Platform) issueBatch(gdie int) {
 // traffic, which is exactly how the WAF abstraction injects FTL cost
 // without an FTL implementation.
 func (p *Platform) gcCopy() {
+	if p.ds != nil {
+		p.gcCopyDomains()
+		return
+	}
 	gdie := int(p.rng.Intn(p.totalDies))
 	if !p.hasWritten[gdie] {
 		return // nothing to relocate yet on this die

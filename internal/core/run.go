@@ -123,6 +123,11 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 	// preload on demand, and the WAF abstraction re-resolves from the
 	// replay generator's windowed classification as the file streams.
 	p.lazyPreload = w.HasReplay()
+	if p.ds != nil && p.lazyPreload {
+		// Lazy preload inspects die state from the hub mid-run, which the
+		// sharded core cannot allow (die state belongs to channel domains).
+		return Result{}, errors.New("core: parallel mode does not support trace replay")
+	}
 	if err := p.resolveWAF(w.RandomWrites()); err != nil {
 		return Result{}, err
 	}
@@ -155,11 +160,11 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 	res.BlockBytes = w.BlockSize
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	if res.WallSeconds > 0 {
-		cycles := float64(p.CPU.Clock().CyclesAt(p.K.Now()))
+		cycles := float64(p.CPU.Clock().CyclesAt(p.simNow()))
 		res.KCPS = cycles / 1000 / res.WallSeconds
 	}
-	res.Events = p.K.Executed
-	res.SimTime = p.K.Now()
+	res.Events = p.kernelEvents()
+	res.SimTime = p.simNow()
 	res.WAF = p.wafModel.WAF
 	if p.liveClass != nil && p.stats.userPages > 0 {
 		// Live reclassification switches WAF models mid-run; report the
@@ -171,8 +176,8 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 	if p.mapper != nil && p.mapper.m.Stats.UserWrites > 0 {
 		res.WAF = p.mapper.m.MeasuredWAF()
 	}
-	res.BusUtil = p.Bus.Utilization(p.K.Now())
-	res.CPUUtil = p.CPU.Utilization(p.K.Now())
+	res.BusUtil = p.busUtilization(p.simNow())
+	res.CPUUtil = p.CPU.Utilization(p.simNow())
 	res.UserPages = p.stats.userPages
 	res.GCCopies = p.stats.gcCopies
 	res.Erases = p.stats.eraseOps
@@ -205,7 +210,7 @@ func (p *Platform) runHosted(w workload.Spec, mode Mode) (Result, error) {
 	if err := p.Host.Run(gen, handler, func() { drained = true }); err != nil {
 		return Result{}, err
 	}
-	p.K.RunAll()
+	p.runKernel()
 	if e, ok := gen.(interface{ Err() error }); ok {
 		if serr := e.Err(); serr != nil {
 			return Result{}, fmt.Errorf("core: workload stream: %w", serr)
@@ -530,19 +535,33 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 				}
 			}
 			p.stats.flashReads++
-			err := p.Channels[chIdx].ReadTraced(die, addr, p.pageBytes, &cmd.Span, func() {
-				p.eccDecode(1, func() {
-					cmd.Span.Advance(telemetry.StageECC, p.K.Now())
-					if err := p.hostDMA.Transfer(int64(p.pageBytes), nil, func(_, _ sim.Time) {
-						cmd.Span.Advance(telemetry.StageDRAM, p.K.Now())
-						remaining--
-						if remaining == 0 {
-							p.Host.Complete(cmd)
-						}
+			afterECC := func() {
+				cmd.Span.Advance(telemetry.StageECC, p.K.Now())
+				if err := p.hostDMA.Transfer(int64(p.pageBytes), nil, func(_, _ sim.Time) {
+					cmd.Span.Advance(telemetry.StageDRAM, p.K.Now())
+					remaining--
+					if remaining == 0 {
+						p.Host.Complete(cmd)
+					}
+				}); err != nil {
+					panic(err)
+				}
+			}
+			if p.ds != nil {
+				// Parallel core: the array read and its decode run on the
+				// channel's domain; the host-side tail hops back to the hub.
+				done := p.hubFn(chIdx, afterECC)
+				p.toShard(chIdx, func() {
+					if err := p.Channels[chIdx].ReadTraced(die, addr, p.pageBytes, &cmd.Span, func() {
+						p.shardDecode(chIdx, 1, done)
 					}); err != nil {
-						panic(err)
+						panic(fmt.Sprintf("core: read dispatch failed: %v", err))
 					}
 				})
+				continue
+			}
+			err := p.Channels[chIdx].ReadTraced(die, addr, p.pageBytes, &cmd.Span, func() {
+				p.eccDecode(1, afterECC)
 			})
 			if err != nil {
 				panic(fmt.Sprintf("core: read dispatch failed: %v", err))
@@ -585,6 +604,17 @@ func (p *Platform) runDrain(w workload.Spec) (Result, error) {
 				gdie, addr := p.readAddr(int64(issued - 1))
 				chIdx, die := p.chanDie(gdie)
 				p.stats.flashReads++
+				if p.ds != nil {
+					done := p.hubFn(chIdx, onDone)
+					p.toShard(chIdx, func() {
+						if err := p.Channels[chIdx].Read(die, addr, p.pageBytes, func() {
+							p.shardDecode(chIdx, 1, done)
+						}); err != nil {
+							panic(err)
+						}
+					})
+					continue
+				}
 				if err := p.Channels[chIdx].Read(die, addr, p.pageBytes, func() {
 					p.eccDecode(1, onDone)
 				}); err != nil {
@@ -597,14 +627,14 @@ func (p *Platform) runDrain(w workload.Spec) (Result, error) {
 		}
 	}
 	p.K.Schedule(0, pump)
-	p.K.RunAll()
+	p.runKernel()
 	if completed != totalPages {
 		return Result{}, fmt.Errorf("%w (drain: %d of %d pages)", errStalled, completed, totalPages)
 	}
 	bytes := int64(totalPages) * int64(p.pageBytes)
 	mbps := 0.0
-	if p.K.Now() > 0 {
-		mbps = float64(bytes) / p.K.Now().Seconds() / 1e6
+	if now := p.simNow(); now > 0 {
+		mbps = float64(bytes) / now.Seconds() / 1e6
 	}
 	return Result{MBps: mbps, BytesMoved: bytes, Completed: uint64(completed)}, nil
 }
@@ -644,7 +674,7 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 	if err := p.Host.Run(trace.NewSliceStream(reqs), handler, func() { drained = true }); err != nil {
 		return Result{}, err
 	}
-	p.K.RunAll()
+	p.runKernel()
 	if !drained {
 		return Result{}, fmt.Errorf("%w (trace replay: %d completed)", errStalled, p.Host.Stats.Completed)
 	}
@@ -658,7 +688,7 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 		RampMBps:   p.Host.ThroughputMBps(),
 		BytesMoved: int64(p.Host.Stats.BytesRead + p.Host.Stats.BytesWritten),
 		Completed:  p.Host.Stats.Completed,
-		SimTime:    p.K.Now(),
+		SimTime:    p.simNow(),
 		WAF:        p.wafModel.WAF,
 		ReadLat:    p.Host.Latency().Read(),
 		WriteLat:   p.Host.Latency().Write(),
@@ -668,12 +698,12 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 	res.Saturated, res.BacklogGrowth = p.Host.Saturation()
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	if res.WallSeconds > 0 {
-		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.K.Now())) / 1000 / res.WallSeconds
+		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.simNow())) / 1000 / res.WallSeconds
 	}
-	res.Events = p.K.Executed
+	res.Events = p.kernelEvents()
 	res.HostQueuePeak = p.Host.Stats.QueuePeak
-	res.BusUtil = p.Bus.Utilization(p.K.Now())
-	res.CPUUtil = p.CPU.Utilization(p.K.Now())
+	res.BusUtil = p.busUtilization(p.simNow())
+	res.CPUUtil = p.CPU.Utilization(p.simNow())
 	res.UserPages = p.stats.userPages
 	res.GCCopies = p.stats.gcCopies
 	res.Erases = p.stats.eraseOps

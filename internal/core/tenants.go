@@ -102,7 +102,7 @@ func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
 	if err := p.Host.RunMulti(q, handler, func() { drained = true }); err != nil {
 		return Result{}, err
 	}
-	p.K.RunAll()
+	p.runKernel()
 	if serr := q.Err(); serr != nil {
 		return Result{}, fmt.Errorf("core: tenant stream: %w", serr)
 	}
@@ -134,16 +134,16 @@ func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
 	res.Saturated, res.BacklogGrowth = p.Host.Saturation()
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	if res.WallSeconds > 0 {
-		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.K.Now())) / 1000 / res.WallSeconds
+		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.simNow())) / 1000 / res.WallSeconds
 	}
-	res.Events = p.K.Executed
-	res.SimTime = p.K.Now()
+	res.Events = p.kernelEvents()
+	res.SimTime = p.simNow()
 	res.WAF = p.wafModel.WAF
 	if p.mapper != nil && p.mapper.m.Stats.UserWrites > 0 {
 		res.WAF = p.mapper.m.MeasuredWAF()
 	}
-	res.BusUtil = p.Bus.Utilization(p.K.Now())
-	res.CPUUtil = p.CPU.Utilization(p.K.Now())
+	res.BusUtil = p.busUtilization(p.simNow())
+	res.CPUUtil = p.CPU.Utilization(p.simNow())
 	res.UserPages = p.stats.userPages
 	res.GCCopies = p.stats.gcCopies
 	res.Erases = p.stats.eraseOps

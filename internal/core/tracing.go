@@ -63,9 +63,38 @@ func (p *Platform) EnableTracing(opt evtrace.Options) *evtrace.Tracer {
 	}
 
 	// Channels: dies (per-op-kind intervals, GC split, flow steps) and ONFI
-	// buses.
-	for _, ch := range p.Channels {
-		ch.SetTracer(tr)
+	// buses. In parallel mode every channel domain logs into a private sink
+	// (shared resource table, own event buffer — each resource has exactly
+	// one writing domain); runKernel folds the sinks back into the main
+	// tracer after each run.
+	for c, ch := range p.Channels {
+		if p.ds == nil {
+			ch.SetTracer(tr)
+			continue
+		}
+		sink := tr.Sink()
+		p.traceSinks = append(p.traceSinks, sink)
+		ch.SetTracer(sink)
+		// The shard's private interconnect, DRAM buffer and ECC engines.
+		bres := tr.Register(evtrace.KindAHB, fmt.Sprintf("ch%d-ahb", c))
+		p.shardBuses[c].OnGrant = func(_ int, start, end sim.Time) {
+			sink.Interval(bres, evtrace.OpXfer, start, end)
+		}
+		b := p.shardDRAM[c]
+		dres := tr.Register(evtrace.KindDRAM, fmt.Sprintf("ddr%d", b.ID))
+		b.OnServe = func(write bool, start, end sim.Time) {
+			op := evtrace.OpRead
+			if write {
+				op = evtrace.OpWrite
+			}
+			sink.Interval(dres, op, start, end)
+		}
+		for _, e := range p.shardECC[c].engines {
+			eres := tr.Register(evtrace.KindECC, e.Name())
+			e.OnServe = func(start, end sim.Time) {
+				sink.Interval(eres, evtrace.OpBusy, start, end)
+			}
+		}
 	}
 	return tr
 }
@@ -80,11 +109,11 @@ func (p *Platform) utilizationReport(wallSeconds float64) *evtrace.Report {
 	if p.tracer == nil {
 		return nil
 	}
-	rep := p.tracer.Report(p.K.Now())
-	rep.Profile.KernelEvents = p.K.Executed
+	rep := p.tracer.Report(p.simNow())
+	rep.Profile.KernelEvents = p.kernelEvents()
 	if wallSeconds > 0 {
 		rep.Profile.WallSeconds = wallSeconds
-		rep.Profile.EventsPerSec = float64(p.K.Executed) / wallSeconds
+		rep.Profile.EventsPerSec = float64(p.kernelEvents()) / wallSeconds
 		rep.Profile.SimNSPerWallMS = rep.SimNS / (wallSeconds * 1e3)
 	}
 	return rep

@@ -118,6 +118,32 @@ type Channel struct {
 	dieRes []int32
 	busRes int32
 	wayRes []int32
+
+	// spanSink, when set, receives every stage-watermark advance instead of
+	// the controller mutating spans directly. The parallel kernel installs
+	// one per channel: spans belong to the hub clock domain, so shard-side
+	// advances become timestamped cross-domain messages applied there in
+	// deterministic merge order. Nil (the default) keeps the direct,
+	// allocation-free serial path.
+	spanSink func(sp *telemetry.Span, st telemetry.Stage, at sim.Time)
+}
+
+// SetSpanSink redirects stage attribution to sink (nil restores direct span
+// mutation). Call before the run starts.
+func (ch *Channel) SetSpanSink(sink func(sp *telemetry.Span, st telemetry.Stage, at sim.Time)) {
+	ch.spanSink = sink
+}
+
+// adv moves one span's stage watermark, through the sink when installed.
+func (ch *Channel) adv(sp *telemetry.Span, st telemetry.Stage, at sim.Time) {
+	if sp == nil {
+		return
+	}
+	if ch.spanSink != nil {
+		ch.spanSink(sp, st, at)
+		return
+	}
+	sp.Advance(st, at)
 }
 
 // New builds a channel controller with its dies attached.
@@ -298,13 +324,9 @@ type dieOp struct {
 
 // advance moves every attached span's watermark (nil entries skipped).
 func (op *dieOp) advance(st telemetry.Stage, now sim.Time) {
-	if op.span != nil {
-		op.span.Advance(st, now)
-	}
+	op.ch.adv(op.span, st, now)
 	for _, sp := range op.spans {
-		if sp != nil {
-			sp.Advance(st, now)
-		}
+		op.ch.adv(sp, st, now)
 	}
 }
 
@@ -502,32 +524,24 @@ func (ch *Channel) startWrite(die int, op *dieOp) {
 func (ch *Channel) startRead(die int, op *dieOp) {
 	// Stage 1: command/address cycles, then the array sense.
 	ch.acquireCmd(func() {
-		if op.span != nil {
-			// Die-queue wait plus command/address cycles: channel stage.
-			op.span.Advance(telemetry.StageChan, ch.k.Now())
-		}
+		// Die-queue wait plus command/address cycles: channel stage.
+		ch.adv(op.span, telemetry.StageChan, ch.k.Now())
 		dur, err := ch.dies[die].Read(op.addrs[0], func() {
-			if op.span != nil {
-				// Array sense (tR): NAND stage.
-				op.span.Advance(telemetry.StageNAND, ch.k.Now())
-			}
+			// Array sense (tR): NAND stage.
+			ch.adv(op.span, telemetry.StageNAND, ch.k.Now())
 			// Stage 2: data-out cycles on the data bus (the SRAM slot was
 			// reserved at enqueue, keeping slot-grant order equal to
 			// command order — a FIFO property that rules out deadlock).
 			ch.dataBus(die).Acquire(ch.tim.DataTransferTime(int(op.bytes)), func(_, end sim.Time) {
 				ch.k.At(end, func() {
-					if op.span != nil {
-						// Data-out occupancy: bus stage.
-						op.span.Advance(telemetry.StageBus, end)
-					}
+					// Data-out occupancy: bus stage.
+					ch.adv(op.span, telemetry.StageBus, end)
 					ch.release(die)
 					// Stage 3: PP-DMA pushes to DRAM over the AHB.
 					if err := ch.ppDMA.Transfer(op.bytes, nil, func(_, _ sim.Time) {
 						ch.buf.Access(true, int64(ch.ID)*op.bytes, op.bytes, func(_, _ sim.Time) {
-							if op.span != nil {
-								// AHB DMA + DDR landing: DRAM stage.
-								op.span.Advance(telemetry.StageDRAM, ch.k.Now())
-							}
+							// AHB DMA + DDR landing: DRAM stage.
+							ch.adv(op.span, telemetry.StageDRAM, ch.k.Now())
 							ch.Stats.PageReads++
 							ch.Stats.BytesFromNAND += uint64(op.bytes)
 							done := op.done

@@ -196,6 +196,16 @@ func (k *Kernel) Cancel(id EventID) bool {
 // Pending reports the number of queued events.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// NextAt returns the timestamp of the earliest pending event, or MaxTime
+// when the queue is empty. The domain coordinator uses it to compute the
+// global lower bound a conservative window starts from.
+func (k *Kernel) NextAt() Time {
+	if len(k.queue) == 0 {
+		return MaxTime
+	}
+	return k.queue[0].at
+}
+
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
