@@ -71,6 +71,13 @@ func TestParallelDeterminism(t *testing.T) {
 		}
 		return cfg
 	}
+	// A mixed read/write trace replay: reads exercise the shard-side lazy
+	// first-touch preload, writes exercise live WAF reclassification — the
+	// two mechanisms that previously forced replay off the parallel core.
+	replayPath := writeTrace(t, workload.Spec{
+		Pattern: trace.RandRead, BlockSize: 4096, SpanBytes: 1 << 24,
+		Requests: 400, Seed: 29, WriteFrac: 0.4,
+	})
 	cases := []struct {
 		name string
 		cfg  config.Platform
@@ -89,6 +96,8 @@ func TestParallelDeterminism(t *testing.T) {
 			workload.Patterned(trace.RandWrite, 4096, 1<<22, 400, 19), ModeFull},
 		{"drain-write-c4", preset("t3:C4"),
 			workload.Patterned(trace.SeqWrite, 4096, 1<<24, 256, 23), ModeDDRFlash},
+		{"replay-mixed-c4", preset("t3:C4"),
+			workload.Spec{TracePath: replayPath}, ModeFull},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -130,22 +139,6 @@ func TestParallelModeRuns(t *testing.T) {
 	}
 	if res.MBps <= 0 {
 		t.Fatalf("no throughput measured: %v", res.MBps)
-	}
-}
-
-// TestParallelRejectsReplay pins the documented restriction: trace replay
-// reads die state from the hub mid-run, which the sharded core cannot allow.
-func TestParallelRejectsReplay(t *testing.T) {
-	cfg := config.Default()
-	cfg.Parallel = true
-	p, err := Build(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w := workload.Spec{TracePath: "testdata/nonexistent.trace",
-		BlockSize: 4096, SpanBytes: 1 << 20, Requests: 1}
-	if _, err := p.Run(w, ModeFull); err == nil {
-		t.Fatal("parallel replay did not error")
 	}
 }
 

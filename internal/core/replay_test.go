@@ -11,7 +11,7 @@ import (
 )
 
 // writeTrace materialises a synthetic spec as a trace file.
-func writeTrace(t *testing.T, spec workload.Spec) string {
+func writeTrace(t testing.TB, spec workload.Spec) string {
 	t.Helper()
 	reqs, err := spec.Generate()
 	if err != nil {
@@ -29,6 +29,40 @@ func writeTrace(t *testing.T, spec workload.Spec) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// BenchmarkReplayDispatch measures trace-replay throughput through the full
+// platform — the streaming reader, lazy first-touch preload and live WAF
+// reclassification — on the serial monolithic kernel and on the sharded
+// parallel core. One iteration replays the whole trace.
+func BenchmarkReplayDispatch(b *testing.B) {
+	path := writeTrace(b, workload.Spec{
+		Pattern: trace.RandRead, BlockSize: 4096, SpanBytes: 1 << 24,
+		Requests: 2000, Seed: 7, WriteFrac: 0.4,
+	})
+	for _, bc := range []struct {
+		name     string
+		parallel bool
+	}{
+		{"serial", false},
+		{"parallel", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := config.Default()
+			cfg.Parallel = bc.parallel
+			cfg.ParallelWorkers = 2
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := RunWorkload(cfg, workload.Spec{TracePath: path}, ModeFull)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != 2000 {
+					b.Fatalf("completed %d of 2000", res.Completed)
+				}
+			}
+		})
+	}
 }
 
 // TestReplayAdaptiveWAF: single-pass replay must reach the same WAF

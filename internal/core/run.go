@@ -120,14 +120,10 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 		return Result{}, errors.New("core: ddr+flash drain mode measures plain closed-loop synthetic workloads only")
 	}
 	// Trace replay needs no pre-scan: reads beyond the declared span
-	// preload on demand, and the WAF abstraction re-resolves from the
-	// replay generator's windowed classification as the file streams.
+	// preload on demand (on the die's owning domain in parallel mode), and
+	// the WAF abstraction re-resolves from the replay generator's windowed
+	// classification as the file streams.
 	p.lazyPreload = w.HasReplay()
-	if p.ds != nil && p.lazyPreload {
-		// Lazy preload inspects die state from the hub mid-run, which the
-		// sharded core cannot allow (die state belongs to channel domains).
-		return Result{}, errors.New("core: parallel mode does not support trace replay")
-	}
 	if err := p.resolveWAF(w.RandomWrites()); err != nil {
 		return Result{}, err
 	}
@@ -523,17 +519,6 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 				gdie, addr = p.readAddr(basePage + int64(i))
 			}
 			chIdx, die := p.chanDie(gdie)
-			if p.lazyPreload && p.mapper == nil {
-				// Replay reads can touch pages no declared span covered:
-				// model them as pre-existing data, preloaded on first
-				// touch, instead of demanding a pre-scan of the trace.
-				d := p.Channels[chIdx].Die(die)
-				if ok, err := d.PageProgrammed(addr); err == nil && !ok {
-					if err := d.Preload(addr); err != nil {
-						panic(fmt.Sprintf("core: lazy preload failed: %v", err))
-					}
-				}
-			}
 			p.stats.flashReads++
 			afterECC := func() {
 				cmd.Span.Advance(telemetry.StageECC, p.K.Now())
@@ -547,11 +532,15 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 					panic(err)
 				}
 			}
+			lba := req.LBA
 			if p.ds != nil {
 				// Parallel core: the array read and its decode run on the
 				// channel's domain; the host-side tail hops back to the hub.
+				// The first-touch preload rides the same closure so die state
+				// is only ever inspected by its owning domain.
 				done := p.hubFn(chIdx, afterECC)
 				p.toShard(chIdx, func() {
+					p.lazyPreloadPage(chIdx, die, addr, lba)
 					if err := p.Channels[chIdx].ReadTraced(die, addr, p.pageBytes, &cmd.Span, func() {
 						p.shardDecode(chIdx, 1, done)
 					}); err != nil {
@@ -560,6 +549,7 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 				})
 				continue
 			}
+			p.lazyPreloadPage(chIdx, die, addr, lba)
 			err := p.Channels[chIdx].ReadTraced(die, addr, p.pageBytes, &cmd.Span, func() {
 				p.eccDecode(1, afterECC)
 			})
@@ -573,6 +563,27 @@ func (p *Platform) handleRead(cmd *hostif.Command, mode Mode) {
 		return
 	}
 	p.cpuCost(req, pages, afterCPU)
+}
+
+// lazyPreloadPage marks a replayed read's target page as pre-existing data
+// on first touch, instead of demanding a pre-scan of the trace. It must run
+// on the domain that owns the die — the shard closure in parallel mode — so
+// die state is never inspected hub-side mid-run; Preload consumes no
+// simulated time, so domain-local marking preserves the conservative-
+// lookahead contract. p.lazyPreload and p.mapper are set before the kernel
+// starts and are immutable during the run, so reading them here is safe
+// from any domain.
+func (p *Platform) lazyPreloadPage(ch, die int, addr nand.Addr, lba int64) {
+	if !p.lazyPreload || p.mapper != nil {
+		return
+	}
+	d := p.Channels[ch].Die(die)
+	if ok, err := d.PageProgrammed(addr); err == nil && !ok {
+		if err := d.Preload(addr); err != nil {
+			panic(fmt.Sprintf("core: lazy preload of LBA %d failed (ch %d die %d plane %d block %d page %d): %v",
+				lba, ch, die, addr.Plane, addr.Block, addr.Page, err))
+		}
+	}
 }
 
 // runDrain measures the DDR+FLASH column: data is already in the DRAM
@@ -676,7 +687,8 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 	}
 	p.runKernel()
 	if !drained {
-		return Result{}, fmt.Errorf("%w (trace replay: %d completed)", errStalled, p.Host.Stats.Completed)
+		return Result{}, fmt.Errorf("%w (trace replay: %d completed, %d outstanding)",
+			errStalled, p.Host.Stats.Completed, p.Host.Outstanding())
 	}
 	res := Result{
 		Config:     p.Cfg.Name,

@@ -81,6 +81,11 @@ func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
 	if mode == ModeDDRFlash {
 		return Result{}, errors.New("core: ddr+flash drain mode cannot run multi-queue scenarios")
 	}
+	// Replay tenants need no pre-scan: their declared namespaces are
+	// preloaded eagerly below like every reading tenant's, and any read a
+	// trace aims past its declared extent preloads on first touch, on the
+	// die's owning domain.
+	p.lazyPreload = set.HasReplay()
 	if err := p.resolveWAF(set.RandomWrites()); err != nil {
 		return Result{}, err
 	}
@@ -95,6 +100,17 @@ func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
 	}
 	defer q.Close()
 	q.SetClock(func() float64 { return p.K.Now().Microseconds() })
+	// Live WAF re-resolution (WAF-abstraction mode only; an explicit
+	// override pins the value, the mapper FTL measures its own
+	// amplification): when exactly one tenant writes and its generator
+	// classifies its own stream — a replayed trace or a synthetic phase
+	// chain — the drive-level write regime is that stream's regime, so the
+	// windowed classification drives the model exactly as on the
+	// single-stream path. Two or more writers stay pinned at the
+	// conservative interleaved-random model set above.
+	if p.mapper == nil && p.Cfg.WAFOverride == 0 {
+		p.liveClass = q.SoleWriterClassification()
+	}
 
 	wallStart := time.Now()
 	drained := false
@@ -139,6 +155,11 @@ func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
 	res.Events = p.kernelEvents()
 	res.SimTime = p.simNow()
 	res.WAF = p.wafModel.WAF
+	if p.liveClass != nil && p.stats.userPages > 0 {
+		// Live reclassification switches WAF models mid-run; report the
+		// amplification actually applied over the whole run.
+		res.WAF = float64(p.stats.userPages+p.stats.gcCopies) / float64(p.stats.userPages)
+	}
 	if p.mapper != nil && p.mapper.m.Stats.UserWrites > 0 {
 		res.WAF = p.mapper.m.MeasuredWAF()
 	}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/csv"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -64,6 +66,30 @@ func TestTenantAxes(t *testing.T) {
 	}
 	if pts[0].Key() != pt0b.Key() {
 		t.Error("re-decoding the same index changed the key")
+	}
+}
+
+// TestTenantReplayKeyTracksTraceContent: a tenant-mix cache key must change
+// when a replayed trace file changes, not only when its path does —
+// otherwise a rewritten trace serves stale cached results.
+func TestTenantReplayKeyTracksTraceContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "agg.trace")
+	if err := os.WriteFile(path, []byte("0 W 0 4096\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mix := testMix(1)
+	mix[1].Workload = workload.Spec{TracePath: path, SpanBytes: 1 << 24}
+	s := Space{TenantMixes: [][]nvme.Tenant{mix}, Policies: []nvme.Policy{nvme.PolicyRR}}
+	pts, err := s.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key1 := pts[0].Key()
+	if err := os.WriteFile(path, []byte("0 W 0 4096\n1 W 8 4096\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if key2 := pts[0].Key(); key2 == key1 {
+		t.Error("cache key unchanged after the trace file was rewritten")
 	}
 }
 

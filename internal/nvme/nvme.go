@@ -227,8 +227,10 @@ func (s TenantSet) Validate() error {
 		if t.Class >= numClasses {
 			return fmt.Errorf("nvme: tenant %q has unknown class %d", t.Name, t.Class)
 		}
-		if t.Workload.HasReplay() {
-			return fmt.Errorf("nvme: tenant %q replays a trace file; per-tenant replay is not supported yet", t.Name)
+		if t.Workload.HasReplay() && t.NSBytes() <= 0 {
+			// A replayed trace carries no request count to size a namespace
+			// from; the span declares it.
+			return fmt.Errorf("nvme: tenant %q replays a trace; declare its namespace size with span=<size>", t.Name)
 		}
 		if err := t.Workload.Validate(); err != nil {
 			return fmt.Errorf("nvme: tenant %q: %w", t.Name, err)
@@ -297,6 +299,17 @@ func (s TenantSet) RandomWrites() bool {
 		}
 	}
 	return writers > 1
+}
+
+// HasReplay reports whether any tenant replays a trace file — the shape
+// whose reads preload lazily on the die's owning domain.
+func (s TenantSet) HasReplay() bool {
+	for _, t := range s.Tenants {
+		if t.Workload.HasReplay() {
+			return true
+		}
+	}
+	return false
 }
 
 // Open reports whether any tenant declares an open-loop arrival process.

@@ -23,13 +23,19 @@ import (
 // many consecutive commands one grant may take) and phases is a workload phase spec
 // exactly as accepted by workload.ParsePhases — semicolon-separated
 // "<requests>x<pattern>[,option...]" fields with block/span/mix/skew/
-// arrival/seed/record options. base supplies the block, span and seed
-// defaults of every tenant. The arbitration policy is chosen separately
+// arrival/seed/record options, or "replay:<path>[,span=<size>...]" fields
+// that replay a recorded trace (canonical, blktrace text or MSR CSV) into
+// the tenant's namespace. base supplies the block, span and seed defaults
+// of every tenant. The arbitration policy is chosen separately
 // (ParsePolicy); it is an axis, not part of the scenario.
 //
 // Example — a latency-sensitive reader next to a throughput-hungry writer:
 //
 //	victim@high:6000xRR | noisy*4:20000xSW,arrival=poisson:50000
+//
+// and next to a recorded production aggressor:
+//
+//	victim@high:6000xRR | noisy:replay:msr.csv,span=256m
 func ParseTenants(s string, base workload.Spec) (TenantSet, error) {
 	var set TenantSet
 	for i, field := range strings.Split(s, "|") {

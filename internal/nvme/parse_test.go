@@ -52,6 +52,42 @@ func TestParseTenantsPhased(t *testing.T) {
 	}
 }
 
+// TestParseTenantsReplay: the replay phase syntax reaches tenant workloads
+// and round-trips through FormatTenants.
+func TestParseTenantsReplay(t *testing.T) {
+	set, err := ParseTenants("agg:replay:msr.csv,span=16m,noreads | victim@high:6000xRR", baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := set.Tenants[0]
+	if agg.Workload.TracePath != "msr.csv" || !agg.Workload.ReplayNoReads {
+		t.Errorf("replay tenant mis-parsed: %+v", agg.Workload)
+	}
+	if got := agg.NSBytes(); got != 16<<20 {
+		t.Errorf("replay namespace = %d, want span=16m", got)
+	}
+	formatted := FormatTenants(set)
+	if !strings.Contains(formatted, "replay:msr.csv") {
+		t.Errorf("FormatTenants dropped the replay phase: %q", formatted)
+	}
+	set2, err := ParseTenants(formatted, baseSpec())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", formatted, err)
+	}
+	if set.Canonical() != set2.Canonical() {
+		t.Errorf("replay round trip drifted:\nfirst:  %s\nsecond: %s", set.Canonical(), set2.Canonical())
+	}
+	// A replay phase may ride a phase chain behind synthetic preconditioning.
+	set, err = ParseTenants("agg:1000xSW;replay:msr.csv,span=8m,record", baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Tenants[0].Workload
+	if len(w.Phases) != 2 || w.Phases[1].TracePath != "msr.csv" || !w.Phases[1].Record {
+		t.Errorf("phased replay mis-parsed: %+v", w)
+	}
+}
+
 func TestParseTenantsErrors(t *testing.T) {
 	bad := []string{
 		"",                         // empty
@@ -106,6 +142,8 @@ func FuzzParseTenants(f *testing.F) {
 	f.Add("a:100xSW")
 	f.Add("a@urgent*3#7:1xRW;2xRR,record")
 	f.Add("x:1xSW,block=8k,span=1m,seed=3")
+	f.Add("a:replay:t.trace,span=1m,seqwrites")
+	f.Add("a:100xSW;replay:t.trace,span=2m,noreads,record")
 	f.Add("||")
 	f.Add("a:@:*:#")
 	f.Add("a*99999999999999999999:1xSW")

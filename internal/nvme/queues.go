@@ -19,6 +19,8 @@ type Queues struct {
 	recs   []workload.RecordAware // non-nil where the generator is record-aware
 	phases []workload.PhaseAware  // non-nil where the generator is phase-aware
 	bases  []int64                // namespace base offsets, sectors
+	limits []int64                // namespace sizes in sectors; 0 = unchecked
+	errs   []error                // per-queue namespace violations
 }
 
 // Compile builds the live queue set: validates, lays out namespaces, and
@@ -34,8 +36,17 @@ func (s TenantSet) Compile() (*Queues, error) {
 		recs:   make([]workload.RecordAware, len(s.Tenants)),
 		phases: make([]workload.PhaseAware, len(s.Tenants)),
 		bases:  s.Layout(),
+		limits: make([]int64, len(s.Tenants)),
+		errs:   make([]error, len(s.Tenants)),
 	}
 	for i, t := range s.Tenants {
+		if t.Workload.HasReplay() {
+			// Synthetic generators are span-bounded by construction; a
+			// replayed trace can address anything, so its requests are
+			// checked against the namespace before rebasing (a violation
+			// must error, never silently alias a neighbour's partition).
+			q.limits[i] = t.NSBytes() / trace.SectorSize
+		}
 		g, err := t.Workload.Generator()
 		if err != nil {
 			q.Close()
@@ -66,13 +77,24 @@ func (q *Queues) QueueName(i int) string { return q.set.Tenants[i].Name }
 func (q *Queues) QueueDepth(i int) int { return q.set.Tenants[i].Depth }
 
 // Next implements hostif.MultiSource: the tenant's next request, rebased
-// into its namespace partition.
+// into its namespace partition. A replayed request reaching beyond the
+// tenant's namespace ends the queue's stream with an error (surfaced by
+// Err) instead of wrapping into a neighbour's partition.
 func (q *Queues) Next(i int) (trace.Request, bool) {
-	req, ok := q.gens[i].Next()
-	if ok {
-		req.LBA += q.bases[i]
+	if q.errs[i] != nil {
+		return trace.Request{}, false
 	}
-	return req, ok
+	req, ok := q.gens[i].Next()
+	if !ok {
+		return req, false
+	}
+	if lim := q.limits[i]; lim > 0 && req.EndLBA() > lim {
+		q.errs[i] = fmt.Errorf("nvme: tenant %q trace request [LBA %d, %d bytes] exceeds its %d-sector namespace; raise span=",
+			q.set.Tenants[i].Name, req.LBA, req.Bytes, lim)
+		return trace.Request{}, false
+	}
+	req.LBA += q.bases[i]
+	return req, true
 }
 
 // Recording implements hostif.MultiSource: whether queue i's most recently
@@ -110,8 +132,37 @@ func (q *Queues) SetClock(now func() float64) {
 	}
 }
 
-// Err surfaces the first stream error any queue hit.
+// SoleWriterClassification returns the live stream classifier of the set's
+// single writing tenant, when that tenant's generator classifies its own
+// stream (trace replay or a synthetic phase chain); nil otherwise. With two
+// or more writing tenants the drive-level write mix is pinned random by
+// queue interleaving regardless of each stream's own shape, so no single
+// live estimate applies.
+func (q *Queues) SoleWriterClassification() *workload.Classifier {
+	var cls *workload.Classifier
+	writers := 0
+	for i, t := range q.set.Tenants {
+		if !t.Workload.HasWrites() {
+			continue
+		}
+		if writers++; writers > 1 {
+			return nil
+		}
+		if cg, ok := q.gens[i].(workload.Classifying); ok {
+			cls = cg.Classification()
+		}
+	}
+	return cls
+}
+
+// Err surfaces the first stream error any queue hit: a namespace violation
+// first, then any generator (trace decode / IO) error.
 func (q *Queues) Err() error {
+	for _, err := range q.errs {
+		if err != nil {
+			return err
+		}
+	}
 	for i, g := range q.gens {
 		if e, ok := g.(interface{ Err() error }); ok {
 			if err := e.Err(); err != nil {

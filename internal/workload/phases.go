@@ -23,6 +23,15 @@ import (
 //	seed=<n>        generator seed
 //	record          flag the phase as the measured window
 //
+// A phase may instead replay a recorded trace:
+//
+//	replay:<path>[,span=<size>][,seqwrites][,noreads][,record]
+//
+// streams the file (canonical, blktrace text or MSR CSV, auto-detected)
+// through the same pull-based path; span declares the addressed extent
+// (a tenant's namespace size), seqwrites/noreads declare the trace shape
+// up front instead of having ScanTrace discover it.
+//
 // base supplies the defaults for block, span and seed of every phase.
 // Example: "4000xSW;8000xRR,skew=zipf:0.9,record" preconditions with 4000
 // sequential writes, then measures 8000 zipfian random reads.
@@ -46,10 +55,14 @@ func ParsePhases(s string, base Spec) (Spec, error) {
 	return out, out.Validate()
 }
 
-// parsePhase decodes one "<requests>x<pattern>[,opt...]" field.
+// parsePhase decodes one "<requests>x<pattern>[,opt...]" or
+// "replay:<path>[,opt...]" field.
 func parsePhase(field string, base Spec) (Spec, error) {
 	parts := strings.Split(field, ",")
 	head := strings.TrimSpace(parts[0])
+	if rest, ok := strings.CutPrefix(head, "replay:"); ok {
+		return parseReplayPhase(rest, parts[1:], base)
+	}
 	x := strings.IndexAny(head, "xX")
 	if x <= 0 || x == len(head)-1 {
 		return Spec{}, fmt.Errorf("want <requests>x<pattern>, got %q", head)
@@ -114,6 +127,49 @@ func parsePhase(field string, base Spec) (Spec, error) {
 	return ph, nil
 }
 
+// parseReplayPhase decodes a "replay:<path>[,opt...]" field into a trace-
+// replay Spec. The replay options are span=<size> (the declared span; for a
+// tenant it sizes the namespace), seqwrites / noreads (the trace-shape
+// declarations ScanTrace would otherwise have to discover) and record.
+func parseReplayPhase(path string, opts []string, base Spec) (Spec, error) {
+	if path == "" {
+		return Spec{}, fmt.Errorf("replay: missing trace path")
+	}
+	ph := Spec{TracePath: path, SpanBytes: base.SpanBytes, BlockSize: base.BlockSize}
+	var err error
+	for _, opt := range opts {
+		opt = strings.TrimSpace(opt)
+		key, val := opt, ""
+		if eq := strings.IndexByte(opt, '='); eq >= 0 {
+			key, val = opt[:eq], opt[eq+1:]
+		}
+		switch strings.ToLower(key) {
+		case "span":
+			if ph.SpanBytes, err = parseSize(val); err != nil {
+				return Spec{}, fmt.Errorf("span: %w", err)
+			}
+		case "seqwrites":
+			if val != "" {
+				return Spec{}, fmt.Errorf("seqwrites takes no value, got %q", opt)
+			}
+			ph.ReplaySeqWrites = true
+		case "noreads":
+			if val != "" {
+				return Spec{}, fmt.Errorf("noreads takes no value, got %q", opt)
+			}
+			ph.ReplayNoReads = true
+		case "record":
+			if val != "" {
+				return Spec{}, fmt.Errorf("record takes no value, got %q", opt)
+			}
+			ph.Record = true
+		default:
+			return Spec{}, fmt.Errorf("unknown replay option %q", opt)
+		}
+	}
+	return ph, nil
+}
+
 // parseSize decodes a byte count with an optional binary k/m/g suffix.
 func parseSize(s string) (int64, error) {
 	mult := int64(1)
@@ -149,6 +205,22 @@ func FormatPhases(s Spec) string {
 	for i, ph := range s.Phases {
 		if i > 0 {
 			b.WriteByte(';')
+		}
+		if ph.TracePath != "" {
+			fmt.Fprintf(&b, "replay:%s", ph.TracePath)
+			if ph.SpanBytes > 0 {
+				fmt.Fprintf(&b, ",span=%d", ph.SpanBytes)
+			}
+			if ph.ReplaySeqWrites {
+				b.WriteString(",seqwrites")
+			}
+			if ph.ReplayNoReads {
+				b.WriteString(",noreads")
+			}
+			if ph.Record {
+				b.WriteString(",record")
+			}
+			continue
 		}
 		fmt.Fprintf(&b, "%dx%v,block=%d,span=%d,seed=%d", ph.Requests, ph.Pattern, ph.BlockSize, ph.SpanBytes, ph.Seed)
 		if ph.WriteFrac != 0 {
