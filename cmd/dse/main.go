@@ -19,7 +19,18 @@ func main() {
 	scale := flag.Float64("scale", 1, "workload scale in (0,1]")
 	shapes := flag.String("workload", "sw", "comma-separated workload shapes to sweep: sw, mixed, zipf")
 	list := flag.Bool("list", false, "print the Table II configurations and exit")
+	statusAddr := flag.String("status", "", "serve live /metrics, /progress and /debug/pprof on this address while the figures run")
 	flag.Parse()
+	if *statusAddr != "" {
+		reg := ssdx.NewMetricsRegistry()
+		ssdx.SetExperimentMetrics(reg)
+		srv, addr, err := ssdx.ServeStatus(*statusAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# status: http://%s/metrics (JSON snapshot at /progress, profiles at /debug/pprof)\n", addr)
+	}
 	if *list {
 		fmt.Println("# Table II — SSD configurations")
 		for _, c := range ssdx.TableII() {

@@ -62,6 +62,8 @@ func main() {
 		parallel = flag.Bool("parallel", false, "evaluate every point on the sharded per-channel event core (conservative-lookahead parallel kernel)")
 		utilFlag = flag.Bool("utilization", false, "trace device-wide utilization on every point (fills the *_util/gc_frac CSV columns and the 'utilization' objective)")
 		traceOut = flag.String("trace-out", "", "after the sweep, re-run the best-ranked point with full event tracing and write its Perfetto JSON here")
+		status   = flag.String("status", "", "serve live /metrics (Prometheus), /progress (JSON with the streaming Pareto front) and /debug/pprof on this address (e.g. :9090) for the duration of the sweep")
+		journal  = flag.String("journal", "", "write a structured JSONL run journal here: a sealed run manifest (config hash, seed, space size, version) then one line per evaluation")
 	)
 	flag.Parse()
 
@@ -172,23 +174,57 @@ func main() {
 	}
 	runner := &ssdx.Runner{Workers: *workers, Cache: cache, PruneSaturated: *prune,
 		WarmupRequests: *warmup, Utilization: *utilFlag}
-	if !*quiet {
-		runner.OnProgress = func(done, total int, ev ssdx.Eval) {
-			mark := " "
-			if ev.Cached {
-				mark = "~"
+
+	// The monitor always runs: it feeds the progress line's rate/ETA, the
+	// -status endpoint's /progress document, and costs nothing observable
+	// against a real sweep.
+	monitor := ssdx.NewSweepMonitor(len(pts), objs)
+	var runJournal *ssdx.RunJournal
+	if *journal != "" {
+		manifest := ssdx.NewRunManifest(space, pts, objs)
+		if runJournal, err = ssdx.CreateRunJournal(*journal, manifest, objs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# journal: %s (config %.12s, manifest %.12s)\n",
+			*journal, manifest.ConfigHash, manifest.Hash)
+	}
+	if *status != "" {
+		reg := ssdx.NewMetricsRegistry()
+		runner.Metrics = reg
+		monitor.ExportMetrics(reg)
+		srv, addr, err := ssdx.ServeStatus(*status, reg, monitor)
+		if err != nil {
+			fatal(fmt.Errorf("-status: %w", err))
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# status: http://%s/metrics /progress /debug/pprof\n", addr)
+	}
+	quietF := *quiet
+	runner.OnProgress = func(done, total int, ev ssdx.Eval) {
+		if runJournal != nil {
+			if err := runJournal.Record(ev); err != nil {
+				fmt.Fprintln(os.Stderr, "explore: journal:", err)
 			}
-			if ev.Pruned {
-				mark = "s" // saturated during the warm-up probe; full run skipped
-			}
-			if ev.Failed() {
-				mark = "!"
-			}
-			fmt.Fprintf(os.Stderr, "\r[%4d/%4d]%s %-48s %8.1f MB/s",
-				done, total, mark, ev.Point.Describe(), ev.Result.MBps)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
+		}
+		monitor.Observe(ev)
+		if quietF {
+			return
+		}
+		mark := " "
+		if ev.Cached {
+			mark = "~"
+		}
+		if ev.Pruned {
+			mark = "s" // saturated during the warm-up probe; full run skipped
+		}
+		if ev.Failed() {
+			mark = "!"
+		}
+		rate, eta := monitor.Rate()
+		fmt.Fprintf(os.Stderr, "\r[%4d/%4d]%s %-48s %8.1f MB/s %6.1f pt/s ETA %s",
+			done, total, mark, ev.Point.Describe(), ev.Result.MBps, rate, fmtETA(eta))
+		if done == total {
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 
@@ -200,14 +236,21 @@ func main() {
 		// Fall through: partial results (and the cache) are still worth
 		// saving and printing, but exit non-zero so scripts notice.
 	}
+	if runJournal != nil {
+		if err := runJournal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "explore: journal:", err)
+		}
+	}
 	if *cacheF != "" {
 		if err := cache.Save(*cacheF); err != nil {
 			fatal(err)
 		}
-		hits, misses := cache.Stats()
-		fmt.Fprintf(os.Stderr, "# cache: %d entries saved to %s (%d hits, %d misses)\n",
-			cache.Len(), *cacheF, hits, misses)
+		fmt.Fprintf(os.Stderr, "# cache: %d entries saved to %s\n", cache.Len(), *cacheF)
 	}
+	// The hit/miss summary always prints: even without a cache file the
+	// in-process cache dedupes identical points within one sweep.
+	hits, misses := cache.Stats()
+	fmt.Fprintf(os.Stderr, "# cache: %d hits, %d misses (%d entries)\n", hits, misses, cache.Len())
 
 	if *csvF != "" {
 		if err := withOut(*csvF, func(w *os.File) error { return ssdx.WriteSweepCSV(w, evals) }); err != nil {
@@ -330,6 +373,23 @@ func printTable(evals []ssdx.Eval, objs []ssdx.Objective, frontOnly bool) {
 			fmt.Printf(" %8.3f", ev.Result.Fairness)
 		}
 		fmt.Println()
+	}
+}
+
+// fmtETA renders an ETA compactly ("--" before a rate exists, then 42s /
+// 3m10s / 1h02m).
+func fmtETA(sec float64) string {
+	if sec <= 0 {
+		return "--"
+	}
+	s := int(sec + 0.5)
+	switch {
+	case s < 60:
+		return fmt.Sprintf("%ds", s)
+	case s < 3600:
+		return fmt.Sprintf("%dm%02ds", s/60, s%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", s/3600, (s%3600)/60)
 	}
 }
 

@@ -46,6 +46,7 @@ func main() {
 		utilFlag   = flag.Bool("utilization", false, "trace device-wide utilization and print the per-resource report")
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file of the run (implies tracing)")
 		parallel   = flag.Bool("parallel", false, "run on the sharded per-channel event core (conservative-lookahead parallel kernel)")
+		statusAddr = flag.String("status", "", "serve live /metrics, /progress and /debug/pprof on this address (e.g. :9100) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -73,30 +74,48 @@ func main() {
 		fatal(err)
 	}
 
-	// Tracing builds the platform explicitly so the tracer outlives the run:
-	// -trace-out needs the raw event buffer, -utilization only aggregates.
+	// Tracing and live metrics build the platform explicitly so the
+	// instruments outlive the run: -trace-out needs the raw event buffer,
+	// -utilization only aggregates, -status scrapes the registry while the
+	// simulation executes.
 	tracing := *utilFlag || *traceOut != ""
+	var reg *ssdx.MetricsRegistry
+	if *statusAddr != "" {
+		reg = ssdx.NewMetricsRegistry()
+		srv, addr, err := ssdx.ServeStatus(*statusAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# status: http://%s/metrics (JSON snapshot at /progress, profiles at /debug/pprof)\n", addr)
+	}
 	var tracer *ssdx.Tracer
+	instrument := func(p *ssdx.Platform) {
+		if tracing {
+			tracer = p.EnableTracing(ssdx.TraceOptions{Events: *traceOut != ""})
+		}
+		p.EnableMetrics(reg)
+	}
 	runWorkload := func(w ssdx.Workload) (ssdx.Result, error) {
-		if !tracing {
+		if !tracing && reg == nil {
 			return ssdx.Run(cfg, w, m)
 		}
 		p, err := ssdx.Build(cfg)
 		if err != nil {
 			return ssdx.Result{}, err
 		}
-		tracer = p.EnableTracing(ssdx.TraceOptions{Events: *traceOut != ""})
+		instrument(p)
 		return p.Run(w, m)
 	}
 	runTenants := func(set ssdx.TenantSet) (ssdx.Result, error) {
-		if !tracing {
+		if !tracing && reg == nil {
 			return ssdx.RunTenants(cfg, set, m)
 		}
 		p, err := ssdx.Build(cfg)
 		if err != nil {
 			return ssdx.Result{}, err
 		}
-		tracer = p.EnableTracing(ssdx.TraceOptions{Events: *traceOut != ""})
+		instrument(p)
 		return p.RunTenants(set, m)
 	}
 

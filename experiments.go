@@ -82,10 +82,21 @@ type DSERow struct {
 // (CLIs, benches, tests) only pay for points they have not simulated yet.
 var expCache = dse.NewCache()
 
+// expMetrics, when set via SetExperimentMetrics, instruments every harness
+// sweep with live metrics.
+var expMetrics *MetricsRegistry
+
+// SetExperimentMetrics binds a live-metrics registry to the shared
+// experiment harness: every subsequent figure/table sweep (and the
+// process-wide cache) exports its counters there. Pass nil to unbind. Used
+// by cmd/dse's -status endpoint; not safe to call concurrently with a
+// running harness sweep.
+func SetExperimentMetrics(reg *MetricsRegistry) { expMetrics = reg }
+
 // expRunner returns the shared experiment runner: real simulator, one
 // worker per core, process-wide cache.
 func expRunner() *dse.Runner {
-	return &dse.Runner{Cache: expCache}
+	return &dse.Runner{Cache: expCache, Metrics: expMetrics}
 }
 
 // DesignSpaceExploration reproduces Fig. 3 (host = "sata2") or Fig. 4

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/telemetry/metrics"
 )
 
 // Cache memoises evaluation results keyed by Point.Key(), the content hash
@@ -19,11 +20,31 @@ type Cache struct {
 	entries map[string]core.Result
 	hits    uint64
 	misses  uint64
+
+	// Live metrics mirrors of the counters above (nil unless
+	// InstrumentMetrics ran; the methods are nil-safe).
+	mHits   *metrics.Counter
+	mMisses *metrics.Counter
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
 	return &Cache{entries: make(map[string]core.Result)}
+}
+
+// InstrumentMetrics mirrors the cache's hit/miss counters into live metrics
+// series. Safe on a nil cache or nil registry (no-op). The mirrors start at
+// zero — they count lookups from instrumentation time on, which is what a
+// per-sweep status endpoint wants even when the cache object is shared
+// across sweeps.
+func (c *Cache) InstrumentMetrics(reg *metrics.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mHits = reg.Counter("ssdx_dse_cache_hits_total", "result-cache lookups served from the content-hash cache")
+	c.mMisses = reg.Counter("ssdx_dse_cache_misses_total", "result-cache lookups that required a simulation")
 }
 
 // Get looks up a result and counts the hit or miss.
@@ -33,8 +54,10 @@ func (c *Cache) Get(key string) (core.Result, bool) {
 	res, ok := c.entries[key]
 	if ok {
 		c.hits++
+		c.mHits.Inc()
 	} else {
 		c.misses++
+		c.mMisses.Inc()
 	}
 	return res, ok
 }

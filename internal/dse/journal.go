@@ -1,0 +1,232 @@
+package dse
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// JournalSchema identifies the run-journal format; it is the first field of
+// every manifest so a reader can reject files it does not understand.
+const JournalSchema = "ssdx-journal/v1"
+
+// Manifest is the run journal's header line: the provenance a dead sweep
+// leaves behind. Everything a coordinator needs to decide whether two
+// journals describe the same experiment is here — the base configuration's
+// content hash, the sweep seed, the space size and the module version — and
+// Hash seals the header itself, so a truncated or hand-edited manifest is
+// detected on read.
+type Manifest struct {
+	Schema     string   `json:"schema"`
+	Version    string   `json:"version"`     // module version that ran the sweep
+	ConfigHash string   `json:"config_hash"` // content hash of the space's base configuration
+	Seed       uint64   `json:"seed"`        // workload seed shared by every point
+	SpaceSize  int64    `json:"space_size"`  // full Cartesian size of the space
+	Points     int      `json:"points"`      // points actually swept (sampled or full)
+	Objectives []string `json:"objectives"`  // objective names entries are scored under
+	Hash       string   `json:"manifest_hash"`
+}
+
+// ComputeHash digests every manifest field except Hash itself, in a fixed
+// canonical rendering. Readers re-derive it; writers must store it.
+func (m Manifest) ComputeHash() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema: %s\n", m.Schema)
+	fmt.Fprintf(&b, "version: %s\n", m.Version)
+	fmt.Fprintf(&b, "config_hash: %s\n", m.ConfigHash)
+	fmt.Fprintf(&b, "seed: %d\n", m.Seed)
+	fmt.Fprintf(&b, "space_size: %d\n", m.SpaceSize)
+	fmt.Fprintf(&b, "points: %d\n", m.Points)
+	fmt.Fprintf(&b, "objectives: %s\n", strings.Join(m.Objectives, ","))
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// NewManifest assembles (and seals) the manifest for a sweep of pts drawn
+// from s, scored under objs.
+func NewManifest(s Space, pts []Point, version string, objs []Objective) Manifest {
+	s = s.defaults()
+	var b strings.Builder
+	cfg := s.Base
+	cfg.Name = "" // labels must not split otherwise-identical experiments
+	if err := cfg.Render(&b); err != nil {
+		panic(fmt.Sprintf("dse: render: %v", err))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	m := Manifest{
+		Schema:     JournalSchema,
+		Version:    version,
+		ConfigHash: hex.EncodeToString(sum[:]),
+		Seed:       s.Seed,
+		SpaceSize:  s.Size(),
+		Points:     len(pts),
+	}
+	for _, o := range objs {
+		m.Objectives = append(m.Objectives, o.Name)
+	}
+	m.Hash = m.ComputeHash()
+	return m
+}
+
+// JournalEntry is one evaluation record: the point's content-hash key (the
+// resumability handle — it matches the result cache's key space), its index
+// in the swept space, outcome flags, wall time, and the objective values a
+// reader can re-rank without re-simulating.
+type JournalEntry struct {
+	Key         string             `json:"key"`
+	Index       int64              `json:"index"`
+	Cached      bool               `json:"cached,omitempty"`
+	Pruned      bool               `json:"pruned,omitempty"`
+	Err         string             `json:"err,omitempty"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Objectives  map[string]float64 `json:"objectives,omitempty"`
+}
+
+// Journal is an append-only JSONL run log: one manifest line, then one line
+// per evaluation, flushed per record so a killed sweep loses at most the
+// entry being written. Record is safe to call from the Runner's OnProgress
+// (already serialised) and from concurrent writers generally.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	objs []Objective
+	err  error
+}
+
+// CreateJournal opens (truncates) path and writes the sealed manifest
+// header. objs determine which objective values each entry carries; they
+// should match the manifest's objective names.
+func CreateJournal(path string, m Manifest, objs []Objective) (*Journal, error) {
+	if m.Hash == "" {
+		m.Hash = m.ComputeHash()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("dse: create journal: %w", err)
+	}
+	j := &Journal{f: f, w: bufio.NewWriter(f), objs: objs}
+	if err := j.writeLine(m); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// writeLine marshals v onto one flushed JSONL line.
+func (j *Journal) writeLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("dse: journal marshal: %w", err)
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("dse: journal write: %w", err)
+	}
+	return j.w.Flush()
+}
+
+// Record appends one evaluation. Failed evaluations carry no objective
+// values (there is no result to score); everything else is scored under the
+// journal's objectives. The first write error sticks and is returned from
+// every subsequent call and from Close.
+func (j *Journal) Record(ev Eval) error {
+	entry := JournalEntry{
+		Key:         ev.Point.Key(),
+		Index:       ev.Point.Index,
+		Cached:      ev.Cached,
+		Pruned:      ev.Pruned,
+		Err:         ev.Err,
+		WallSeconds: ev.WallSeconds,
+	}
+	if !ev.Failed() && len(j.objs) > 0 {
+		entry.Objectives = make(map[string]float64, len(j.objs))
+		for _, o := range j.objs {
+			entry.Objectives[o.Name] = o.Value(ev.Result)
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.writeLine(entry)
+	return j.err
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	flushErr := j.w.Flush()
+	closeErr := j.f.Close()
+	if j.err != nil {
+		return j.err
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// ReadJournal parses a journal file, verifying the manifest seal: the
+// header's hash is re-derived from its fields and must match, so corruption
+// or editing of the provenance line cannot go unnoticed. Entries after a
+// valid manifest are returned as parsed; a truncated trailing line (the
+// kill-mid-write case) yields an error alongside the entries read so far.
+func ReadJournal(path string) (Manifest, []JournalEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Manifest{}, nil, err
+		}
+		return Manifest{}, nil, fmt.Errorf("dse: journal %s is empty", path)
+	}
+	var m Manifest
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+		return Manifest{}, nil, fmt.Errorf("dse: journal %s: bad manifest: %w", path, err)
+	}
+	if m.Schema != JournalSchema {
+		return Manifest{}, nil, fmt.Errorf("dse: journal %s: schema %q, want %q", path, m.Schema, JournalSchema)
+	}
+	if want := m.ComputeHash(); m.Hash != want {
+		return Manifest{}, nil, fmt.Errorf("dse: journal %s: manifest hash %s does not match derived %s (corrupt or edited header)", path, m.Hash, want)
+	}
+	var entries []JournalEntry
+	line := 1
+	for sc.Scan() {
+		line++
+		var e JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return m, entries, fmt.Errorf("dse: journal %s line %d: %w", path, line, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return m, entries, err
+	}
+	return m, entries, nil
+}
+
+// CompletedKeys extracts the point keys that finished successfully — the
+// resumability set: a follow-up sweep can skip any point whose key appears
+// here (the keys are the same content hashes the result cache uses).
+func CompletedKeys(entries []JournalEntry) map[string]bool {
+	done := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if e.Err == "" && !e.Pruned {
+			done[e.Key] = true
+		}
+	}
+	return done
+}

@@ -1,0 +1,197 @@
+package dse
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry/metrics"
+)
+
+// Monitor tracks a sweep's live progress: completion counts, throughput in
+// points per second, an ETA, and the streaming partial Pareto front — the
+// non-dominated set over the evaluations observed so far, maintained
+// incrementally so a coordinator (or a human with curl) can watch the front
+// converge while the sweep is still running. It implements http.Handler, so
+// it plugs straight into the status server's /progress route, and it is safe
+// for concurrent use: the Runner's OnProgress goroutine writes while HTTP
+// readers snapshot.
+type Monitor struct {
+	mu      sync.Mutex
+	total   int
+	objs    []Objective
+	start   time.Time
+	done    int
+	cached  int
+	pruned  int
+	failed  int
+	front   []frontPoint
+	started bool
+}
+
+// frontPoint is one member of the streaming front: enough to identify and
+// score the design without holding the full Result for every member.
+type frontPoint struct {
+	eval Eval
+}
+
+// FrontEntry is one Pareto-front member in a ProgressReport.
+type FrontEntry struct {
+	Index      int64              `json:"index"`
+	Key        string             `json:"key"`
+	Describe   string             `json:"describe"`
+	Objectives map[string]float64 `json:"objectives"`
+}
+
+// ProgressReport is the JSON document /progress serves: totals, rate, ETA
+// and the current partial front.
+type ProgressReport struct {
+	Schema         string       `json:"schema"`
+	Total          int          `json:"total"`
+	Done           int          `json:"done"`
+	Cached         int          `json:"cached"`
+	Pruned         int          `json:"pruned"`
+	Failed         int          `json:"failed"`
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	PointsPerSec   float64      `json:"points_per_sec"`
+	ETASeconds     float64      `json:"eta_seconds"`
+	Front          []FrontEntry `json:"front"`
+}
+
+// NewMonitor builds a monitor for a sweep of total points ranked under objs.
+// The rate clock starts at the first Observe, so constructing the monitor
+// early (before workers spin up) does not skew points/sec.
+func NewMonitor(total int, objs []Objective) *Monitor {
+	return &Monitor{total: total, objs: objs}
+}
+
+// Observe folds one completed evaluation into the live state. Call it from
+// the Runner's OnProgress (already serialised); concurrent calls are safe
+// regardless.
+func (m *Monitor) Observe(ev Eval) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		m.start = time.Now()
+		m.started = true
+	}
+	m.done++
+	switch {
+	case ev.Cached:
+		m.cached++
+	case ev.Pruned:
+		m.pruned++
+	case ev.Failed():
+		m.failed++
+	}
+	if ev.Failed() || ev.Pruned {
+		// A probe verdict is not a full measurement; neither belongs on a
+		// front that ranks real designs.
+		return
+	}
+	// Incremental non-dominated set: drop the candidate if any member
+	// dominates it, otherwise evict the members it dominates and join.
+	for _, fp := range m.front {
+		if Dominates(fp.eval.Result, ev.Result, m.objs) {
+			return
+		}
+	}
+	keep := m.front[:0]
+	for _, fp := range m.front {
+		if !Dominates(ev.Result, fp.eval.Result, m.objs) {
+			keep = append(keep, fp)
+		}
+	}
+	m.front = append(keep, frontPoint{eval: ev})
+}
+
+// Rate returns the observed completion rate in points per second and the
+// estimated seconds remaining (0 before the first completion).
+func (m *Monitor) Rate() (pointsPerSec, etaSeconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rateLocked()
+}
+
+func (m *Monitor) rateLocked() (pointsPerSec, etaSeconds float64) {
+	if !m.started || m.done == 0 {
+		return 0, 0
+	}
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0, 0
+	}
+	rate := float64(m.done) / elapsed
+	if rate > 0 && m.total > m.done {
+		etaSeconds = float64(m.total-m.done) / rate
+	}
+	return rate, etaSeconds
+}
+
+// Report snapshots the live state.
+func (m *Monitor) Report() ProgressReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rate, eta := m.rateLocked()
+	rep := ProgressReport{
+		Schema: "ssdx-progress/v1",
+		Total:  m.total, Done: m.done,
+		Cached: m.cached, Pruned: m.pruned, Failed: m.failed,
+		PointsPerSec: rate, ETASeconds: eta,
+		Front: make([]FrontEntry, 0, len(m.front)),
+	}
+	if m.started {
+		rep.ElapsedSeconds = time.Since(m.start).Seconds()
+	}
+	for _, fp := range m.front {
+		fe := FrontEntry{
+			Index:      fp.eval.Point.Index,
+			Key:        fp.eval.Point.Key(),
+			Describe:   fp.eval.Point.Describe(),
+			Objectives: make(map[string]float64, len(m.objs)),
+		}
+		for _, o := range m.objs {
+			fe.Objectives[o.Name] = o.Value(fp.eval.Result)
+		}
+		rep.Front = append(rep.Front, fe)
+	}
+	return rep
+}
+
+// FrontSize reports the current number of non-dominated designs.
+func (m *Monitor) FrontSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.front)
+}
+
+// ServeHTTP serves the progress report as JSON.
+func (m *Monitor) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(m.Report(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// ExportMetrics registers the monitor's derived figures as computed gauges
+// so /metrics carries rate, ETA and front size alongside the raw counters.
+func (m *Monitor) ExportMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("ssdx_dse_points_per_sec", "observed sweep completion rate", func() float64 {
+		rate, _ := m.Rate()
+		return rate
+	})
+	reg.GaugeFunc("ssdx_dse_eta_seconds", "estimated seconds until the sweep completes", func() float64 {
+		_, eta := m.Rate()
+		return eta
+	})
+	reg.GaugeFunc("ssdx_dse_front_size", "current streaming Pareto front size", func() float64 {
+		return float64(m.FrontSize())
+	})
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/nvme"
+	"repro/internal/telemetry/metrics"
 	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/workload"
 )
@@ -24,6 +26,10 @@ type Eval struct {
 	// rate), not the full request count — the full simulation was skipped.
 	Pruned bool   `json:"pruned,omitempty"`
 	Err    string `json:"err,omitempty"`
+	// WallSeconds is how long this evaluation held a worker — near zero for
+	// cache hits, the probe time for pruned points. Wall-clock only: it is
+	// never part of the deterministic Result and never cached.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
 }
 
 // Failed reports whether the evaluation errored.
@@ -84,6 +90,40 @@ type Runner struct {
 	// Result.Utilization report and the CSV export gains per-resource
 	// utilization columns. Ignored when a custom Evaluate is set.
 	Utilization bool
+
+	// Metrics, when set, exports live sweep counters into the registry
+	// (evals started/completed/cached/pruned/failed, in-flight workers,
+	// per-eval wall time) and instruments the Cache and — on the default
+	// evaluator — every platform it builds. Nil keeps every hook off.
+	Metrics *metrics.Registry
+}
+
+// runnerMetrics bundles the Runner's live counters. The zero value (all nil
+// fields) is the metrics-off configuration: every method call below is a
+// nil-safe no-op.
+type runnerMetrics struct {
+	started   *metrics.Counter
+	completed *metrics.Counter
+	cached    *metrics.Counter
+	pruned    *metrics.Counter
+	failed    *metrics.Counter
+	inflight  *metrics.Gauge
+	evalSecs  *metrics.Histogram
+}
+
+func newRunnerMetrics(reg *metrics.Registry) runnerMetrics {
+	if reg == nil {
+		return runnerMetrics{}
+	}
+	return runnerMetrics{
+		started:   reg.Counter("ssdx_dse_evals_started_total", "design-point evaluations handed to a worker"),
+		completed: reg.Counter("ssdx_dse_evals_completed_total", "design-point evaluations finished (any outcome)"),
+		cached:    reg.Counter("ssdx_dse_evals_cached_total", "evaluations short-circuited by the content-hash cache"),
+		pruned:    reg.Counter("ssdx_dse_evals_pruned_total", "evaluations stopped at the saturation probe"),
+		failed:    reg.Counter("ssdx_dse_evals_failed_total", "evaluations that returned an error"),
+		inflight:  reg.Gauge("ssdx_dse_inflight_workers", "workers currently evaluating a design point"),
+		evalSecs:  reg.Histogram("ssdx_dse_eval_seconds", "wall-clock seconds per simulated evaluation (cache hits excluded)", nil),
+	}
 }
 
 // DefaultWarmupRequests is the pruning probe's per-stream request quota:
@@ -106,9 +146,12 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 	if workers > len(pts) {
 		workers = len(pts)
 	}
+	rm := newRunnerMetrics(r.Metrics)
+	r.Cache.InstrumentMetrics(r.Metrics)
 	evaluate := r.Evaluate
 	if evaluate == nil {
 		utilization := r.Utilization
+		reg := r.Metrics
 		evaluate = func(pt Point) (core.Result, error) {
 			p, err := core.Build(pt.Config)
 			if err != nil {
@@ -119,6 +162,9 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 				// not raw event buffers per point.
 				p.EnableTracing(evtrace.Options{})
 			}
+			// Concurrent platforms share the registry's counters; registration
+			// is idempotent so every worker converges on the same series.
+			p.EnableMetrics(reg)
 			if len(pt.Tenants) > 0 {
 				return p.RunTenants(pt.TenantSet(), pt.Mode)
 			}
@@ -137,6 +183,9 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 		defer wg.Done()
 		for i := range jobs {
 			processed[i] = true
+			rm.started.Inc()
+			rm.inflight.Add(1)
+			begin := time.Now()
 			ev := Eval{Point: pts[i]}
 			key := ""
 			if r.Cache != nil {
@@ -170,6 +219,21 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 						r.Cache.Put(key, Normalize(res))
 					}
 				}
+			}
+			ev.WallSeconds = time.Since(begin).Seconds()
+			rm.inflight.Add(-1)
+			rm.completed.Inc()
+			switch {
+			case ev.Cached:
+				rm.cached.Inc()
+			case ev.Pruned:
+				rm.pruned.Inc()
+				rm.evalSecs.Observe(ev.WallSeconds)
+			case ev.Failed():
+				rm.failed.Inc()
+				rm.evalSecs.Observe(ev.WallSeconds)
+			default:
+				rm.evalSecs.Observe(ev.WallSeconds)
 			}
 			evals[i] = ev
 			if r.OnProgress != nil {

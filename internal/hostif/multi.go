@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/metrics"
 	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -40,6 +41,14 @@ type MultiSource interface {
 	// command. ready holds queue indices in ascending order and is never
 	// empty; the return value must be one of them.
 	Pick(ready []int) int
+}
+
+// DepthGauged is the optional metrics hook a MultiSource may implement: a
+// live gauge per queue that the player updates whenever the queue's inflight
+// depth changes. The nvme package's compiled tenant set implements it after
+// InstrumentMetrics; sources without gauges simply don't.
+type DepthGauged interface {
+	QueueDepthGauge(q int) *metrics.Gauge
 }
 
 // sqEntry is one command sitting in a submission queue: pulled from the
@@ -89,6 +98,10 @@ type queueState struct {
 	// res is the queue's trace resource id (-1 when tracing is off): its
 	// inflight depth (SQ entries + dispatched) is sampled on every change.
 	res int32
+
+	// depthGauge, when non-nil, is the queue's live metrics gauge, updated
+	// on the same edges as the trace depth samples.
+	depthGauge *metrics.Gauge
 }
 
 // ready returns the number of commands waiting in the SQ.
@@ -147,6 +160,9 @@ func (i *Interface) RunMulti(src MultiSource, handler func(*Command), onDrained 
 		i.qs[q] = &queueState{name: src.QueueName(q), depth: depth, recording: true, phased: src.Phased(q), res: -1}
 		if i.tr != nil {
 			i.qs[q].res = i.tr.Register(evtrace.KindSQ, src.QueueName(q))
+		}
+		if dg, ok := src.(DepthGauged); ok {
+			i.qs[q].depthGauge = dg.QueueDepthGauge(q)
 		}
 	}
 	for q := 0; q < n; q++ {
@@ -259,10 +275,13 @@ func (i *Interface) dispatchGrant() {
 }
 
 // sampleQueueDepth records a queue's inflight depth (SQ + dispatched) onto
-// its trace resource. No-op when tracing is off.
+// its trace resource and live metrics gauge. No-op when both are off.
 func (i *Interface) sampleQueueDepth(qs *queueState) {
 	if i.tr != nil {
 		i.tr.Depth(qs.res, qs.ready()+qs.outstanding, i.k.Now())
+	}
+	if qs.depthGauge != nil {
+		qs.depthGauge.Set(int64(qs.ready() + qs.outstanding))
 	}
 }
 

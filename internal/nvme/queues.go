@@ -3,6 +3,7 @@ package nvme
 import (
 	"fmt"
 
+	"repro/internal/telemetry/metrics"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -21,6 +22,31 @@ type Queues struct {
 	bases  []int64                // namespace base offsets, sectors
 	limits []int64                // namespace sizes in sectors; 0 = unchecked
 	errs   []error                // per-queue namespace violations
+	depths []*metrics.Gauge       // live SQ-depth gauges; nil until instrumented
+}
+
+// InstrumentMetrics registers one live submission-queue depth gauge per
+// tenant (`ssdx_sq_depth{tenant="..."}`) in reg. The host interface samples
+// the gauges as commands are issued and completed. Nil registry is a no-op;
+// the gauges stay nil and every hook stays a single pointer test.
+func (q *Queues) InstrumentMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	q.depths = make([]*metrics.Gauge, len(q.gens))
+	for i, t := range q.set.Tenants {
+		q.depths[i] = reg.Gauge(fmt.Sprintf("ssdx_sq_depth{tenant=%q}", t.Name),
+			"live submission-queue depth (ready + outstanding commands) per tenant")
+	}
+}
+
+// QueueDepthGauge returns the live depth gauge for queue i (nil when not
+// instrumented). Satisfies the host interface's optional DepthGauged hook.
+func (q *Queues) QueueDepthGauge(i int) *metrics.Gauge {
+	if q.depths == nil {
+		return nil
+	}
+	return q.depths[i]
 }
 
 // Compile builds the live queue set: validates, lays out namespaces, and

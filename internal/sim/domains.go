@@ -6,6 +6,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry/metrics"
 )
 
 // This file implements the parallel discrete-event core: a set of clock
@@ -86,6 +89,40 @@ type DomainSet struct {
 	horizon Time
 	work    chan int
 	wg      sync.WaitGroup
+
+	// metrics, when non-nil, mirrors coordinator activity into live
+	// counters. Bound via SetMetrics before Run; workers read it through the
+	// happens-before edge of their own spawn.
+	metrics *DomainMetrics
+}
+
+// DomainMetrics is the live-metrics hook bundle for a DomainSet. Any field
+// may be nil (the metric methods are nil-safe); a nil *DomainMetrics turns
+// the whole layer off. Events is shared across every domain kernel; the
+// per-worker slices are indexed by worker id and may be shorter than the
+// worker count (extra workers simply go untimed). All values are wall-clock
+// observations — they never feed back into simulated time, so enabling them
+// cannot perturb determinism.
+type DomainMetrics struct {
+	Events         *metrics.Counter   // events executed across all domain kernels
+	Windows        *metrics.Counter   // conservative windows completed
+	Messages       *metrics.Counter   // cross-domain messages delivered
+	WindowMessages *metrics.Histogram // messages merged per window barrier
+	WorkerBusyNS   []*metrics.Counter // wall ns spent running domain windows
+	WorkerIdleNS   []*metrics.Counter // wall ns spent waiting for window work
+}
+
+// SetMetrics binds (or, with nil, unbinds) live metrics. Must be called
+// before Run: the worker pool snapshots the binding when it starts.
+func (ds *DomainSet) SetMetrics(m *DomainMetrics) {
+	ds.metrics = m
+	var ev *metrics.Counter
+	if m != nil {
+		ev = m.Events
+	}
+	for _, d := range ds.domains {
+		d.K.Events = ev
+	}
 }
 
 // NewDomainSet builds n domains driven by the given worker count (0 means
@@ -165,7 +202,7 @@ func (ds *DomainSet) Run() Time {
 	if ds.workers > 1 && ds.work == nil {
 		ds.work = make(chan int, len(ds.domains))
 		for i := 0; i < ds.workers; i++ {
-			go ds.worker(ds.work)
+			go ds.worker(i, ds.work)
 		}
 	}
 	for !ds.stopped.Load() {
@@ -204,6 +241,9 @@ func (ds *DomainSet) Run() Time {
 			ds.wg.Wait()
 		}
 		ds.deliver()
+		if ds.metrics != nil {
+			ds.metrics.Windows.Inc()
+		}
 	}
 	if ds.work != nil {
 		close(ds.work)
@@ -214,10 +254,36 @@ func (ds *DomainSet) Run() Time {
 
 // worker drains domain ids for the current window. The work channel carries
 // the happens-before edges publishing horizon and each domain's state; it is
-// passed by value so Run can detach the field when it closes the pool.
-func (ds *DomainSet) worker(work chan int) {
+// passed by value so Run can detach the field when it closes the pool. When
+// busy/idle counters are bound for this worker, each receive is bracketed
+// with wall-clock stamps; with metrics off the loop takes no timestamps.
+func (ds *DomainSet) worker(w int, work chan int) {
+	var busy, idle *metrics.Counter
+	if m := ds.metrics; m != nil {
+		if w < len(m.WorkerBusyNS) {
+			busy = m.WorkerBusyNS[w]
+		}
+		if w < len(m.WorkerIdleNS) {
+			idle = m.WorkerIdleNS[w]
+		}
+	}
+	timed := busy != nil || idle != nil
+	var last time.Time
+	if timed {
+		last = time.Now()
+	}
 	for id := range work {
+		if timed {
+			now := time.Now()
+			idle.Add(uint64(now.Sub(last)))
+			last = now
+		}
 		ds.domains[id].K.Run(ds.horizon)
+		if timed {
+			now := time.Now()
+			busy.Add(uint64(now.Sub(last)))
+			last = now
+		}
 		ds.wg.Done()
 	}
 }
@@ -236,6 +302,10 @@ func (ds *DomainSet) deliver() {
 	}
 	if len(msgs) > 1 {
 		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].at < msgs[j].at })
+	}
+	if ds.metrics != nil {
+		ds.metrics.Messages.Add(uint64(len(msgs)))
+		ds.metrics.WindowMessages.Observe(float64(len(msgs)))
 	}
 	for i := range msgs {
 		ds.domains[msgs[i].to].K.At(msgs[i].at, msgs[i].fn)

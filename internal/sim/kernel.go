@@ -9,6 +9,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/telemetry/metrics"
 )
 
 // Time is a simulation timestamp in picoseconds. int64 picoseconds cover
@@ -130,6 +132,29 @@ type Kernel struct {
 	// Executed counts delivered events; used by the simulation-speed
 	// experiment (Fig. 6) and by sanity limits in tests.
 	Executed uint64
+
+	// Events, when non-nil, mirrors Executed into a live metrics counter so
+	// a status endpoint can watch event throughput mid-run. Flushes are
+	// batched (the serial platform calls Run once for a whole simulation, so
+	// an exit-only flush would never move during the run) and the kernel
+	// stays single-goroutine: only the counter itself is shared.
+	Events *metrics.Counter
+
+	// flushedEvents is the Executed value already published to Events.
+	flushedEvents uint64
+}
+
+// eventFlushBatch is how many executed events accumulate between live
+// counter flushes. Large enough that the per-event cost is one predictable
+// compare, small enough that a scrape sees fresh numbers.
+const eventFlushBatch = 8192
+
+// flushEvents publishes the not-yet-published executed-event delta.
+func (k *Kernel) flushEvents() {
+	if k.Events != nil && k.Executed != k.flushedEvents {
+		k.Events.Add(k.Executed - k.flushedEvents)
+		k.flushedEvents = k.Executed
+	}
 }
 
 // NewKernel returns a kernel positioned at time zero.
@@ -220,6 +245,7 @@ func (k *Kernel) Run(until Time) Time {
 			// Leave the event queued; advance time to the horizon so
 			// repeated Run calls behave like a paused simulation.
 			k.now = until
+			k.flushEvents()
 			return k.now
 		}
 		heap.Pop(&k.queue)
@@ -227,8 +253,12 @@ func (k *Kernel) Run(until Time) Time {
 		fn := next.fn
 		k.recycle(next)
 		k.Executed++
+		if k.Events != nil && k.Executed-k.flushedEvents >= eventFlushBatch {
+			k.flushEvents()
+		}
 		fn()
 	}
+	k.flushEvents()
 	return k.now
 }
 

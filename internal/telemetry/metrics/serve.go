@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// exposition format. Safe on a nil registry (serves an empty body).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// StartStatus binds addr and serves the live status endpoints in a
+// background goroutine:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/progress     progress (when non-nil), else the registry JSON snapshot
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// It returns the server and the bound address (useful with ":0"). The
+// caller owns shutdown via srv.Close.
+func StartStatus(addr string, reg *Registry, progress http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	if progress == nil {
+		progress = snapshotHandler(reg)
+	}
+	mux.Handle("/progress", progress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+// snapshotHandler serves the registry snapshot as JSON — the /progress
+// fallback for CLIs that have metrics but no sweep monitor.
+func snapshotHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(append(b, '\n'))
+	})
+}
+

@@ -19,6 +19,7 @@ package ssdx
 import (
 	"context"
 	"io"
+	"net/http"
 	"os"
 
 	"repro/internal/config"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/nvme"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/metrics"
 	evtrace "repro/internal/telemetry/trace"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -170,9 +172,13 @@ func Run(cfg Config, w Workload, mode Mode) (Result, error) {
 	return core.RunWorkload(cfg, w, mode)
 }
 
+// Platform is a compiled simulation instance: single-use, with component
+// access and opt-in instruments (EnableTracing, EnableMetrics).
+type Platform = core.Platform
+
 // Build exposes the underlying platform for callers that need component
 // access (examples inspect utilizations; tests inject faults).
-func Build(cfg Config) (*core.Platform, error) { return core.Build(cfg) }
+func Build(cfg Config) (*Platform, error) { return core.Build(cfg) }
 
 // ParseTraceFile loads a host I/O trace in the canonical text format.
 func ParseTraceFile(path string) ([]trace.Request, error) {
@@ -385,5 +391,78 @@ func TraceRunTenants(cfg Config, set TenantSet, mode Mode) (Result, *Tracer, err
 	return res, tr, err
 }
 
+// --- fleet observability -----------------------------------------------------
+//
+// The telemetry/metrics layer is the wall-clock counterpart of event tracing:
+// live counters/gauges/histograms over the running *process* (events/sec,
+// sweep progress, per-tenant SQ depth) exported in Prometheus text format and
+// as a JSON snapshot, plus a structured JSONL run journal so long sweeps are
+// auditable and resumable. Metrics are off by default and cost nothing when
+// off; enable per platform with Platform.EnableMetrics or per sweep with
+// Runner.Metrics.
+
+// MetricsRegistry is a set of named live metrics with Prometheus text
+// exposition (WritePrometheus/Handler) and a flat JSON Snapshot. A nil
+// registry hands out nil metrics whose methods are no-ops.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty live-metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ServeStatus binds addr (":0" picks a port; the bound address is returned)
+// and serves /metrics (Prometheus), /progress (the given handler, or the
+// registry snapshot as JSON when nil) and /debug/pprof in the background.
+// The caller owns shutdown via the returned server's Close.
+func ServeStatus(addr string, reg *MetricsRegistry, progress http.Handler) (*http.Server, string, error) {
+	return metrics.StartStatus(addr, reg, progress)
+}
+
+// SweepMonitor tracks a sweep's live progress — completion counts, points
+// per second, ETA and the streaming partial Pareto front — and serves it as
+// the /progress JSON document (it implements http.Handler).
+type SweepMonitor = dse.Monitor
+
+// SweepProgress is the JSON document a SweepMonitor serves.
+type SweepProgress = dse.ProgressReport
+
+// NewSweepMonitor builds a monitor for a sweep of total points ranked under
+// the objectives. Feed it from Runner.OnProgress via Observe.
+func NewSweepMonitor(total int, objs []Objective) *SweepMonitor { return dse.NewMonitor(total, objs) }
+
+// RunManifest is a run journal's sealed provenance header: module version,
+// base-config content hash, seed, space size and objectives, plus a hash
+// over those fields that readers re-derive.
+type RunManifest = dse.Manifest
+
+// RunJournal is an append-only JSONL run log: one manifest line, then one
+// line per evaluation (point key, objectives, cached/pruned flags, wall
+// time), flushed per record.
+type RunJournal = dse.Journal
+
+// JournalEntry is one evaluation record of a RunJournal.
+type JournalEntry = dse.JournalEntry
+
+// NewRunManifest assembles (and seals) the manifest for a sweep of pts
+// drawn from s, stamped with this module's Version.
+func NewRunManifest(s Space, pts []Point, objs []Objective) RunManifest {
+	return dse.NewManifest(s, pts, Version, objs)
+}
+
+// CreateRunJournal opens (truncates) path and writes the manifest header.
+func CreateRunJournal(path string, m RunManifest, objs []Objective) (*RunJournal, error) {
+	return dse.CreateJournal(path, m, objs)
+}
+
+// ReadRunJournal parses a journal, verifying the manifest seal.
+func ReadRunJournal(path string) (RunManifest, []JournalEntry, error) {
+	return dse.ReadJournal(path)
+}
+
+// JournalCompletedKeys extracts the successfully-evaluated point keys from
+// journal entries — the resumability set (keys match the result cache's).
+func JournalCompletedKeys(entries []JournalEntry) map[string]bool {
+	return dse.CompletedKeys(entries)
+}
+
 // Version identifies the reproduction release.
-const Version = "1.6.0"
+const Version = "1.7.0"
