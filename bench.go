@@ -46,7 +46,7 @@ func MeasureBenchRows(scale float64, parallelAll bool) (BenchReport, error) {
 	return BenchReport{
 		Schema:  BenchSchema,
 		Version: Version,
-		Date:    time.Now().UTC().Format(time.RFC3339),
+		Date:    time.Now().UTC().Format(time.RFC3339), //ssdx:wallclock
 		Scale:   scale,
 		GoOS:    runtime.GOOS,
 		GoArch:  runtime.GOARCH,

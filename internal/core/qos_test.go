@@ -41,7 +41,7 @@ func noisyNeighborSet(policy nvme.Policy, scale int) nvme.TenantSet {
 func runQoS(t *testing.T, policy nvme.Policy, scale int) Result {
 	t.Helper()
 	cfg := config.Default()
-	cfg.QueueDepth = 8    // a tight shared window makes arbitration the bottleneck
+	cfg.QueueDepth = 8          // a tight shared window makes arbitration the bottleneck
 	cfg.CachePolicy = "nocache" // writes hold window slots for their flash time
 	res, err := RunTenantWorkload(cfg, noisyNeighborSet(policy, scale), ModeFull)
 	if err != nil {

@@ -98,6 +98,8 @@ type Result struct {
 }
 
 // String renders a one-line summary.
+//
+//ssdx:export
 func (r Result) String() string {
 	label := r.Workload
 	if label == "" {
@@ -132,7 +134,7 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 			return Result{}, err
 		}
 	}
-	wallStart := time.Now()
+	wallStart := time.Now() //ssdx:wallclock
 	var res Result
 	var err error
 	if mode == ModeDDRFlash {
@@ -154,7 +156,7 @@ func (p *Platform) Run(w workload.Spec, mode Mode) (Result, error) {
 		res.Requests = int(res.Completed)
 	}
 	res.BlockBytes = w.BlockSize
-	res.WallSeconds = time.Since(wallStart).Seconds()
+	res.WallSeconds = time.Since(wallStart).Seconds() //ssdx:wallclock
 	if res.WallSeconds > 0 {
 		cycles := float64(p.CPU.Clock().CyclesAt(p.simNow()))
 		res.KCPS = cycles / 1000 / res.WallSeconds
@@ -679,7 +681,7 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 			return Result{}, err
 		}
 	}
-	wallStart := time.Now()
+	wallStart := time.Now() //ssdx:wallclock
 	drained := false
 	handler := func(cmd *hostif.Command) { p.handleCommand(cmd, ModeFull) }
 	if err := p.Host.Run(trace.NewSliceStream(reqs), handler, func() { drained = true }); err != nil {
@@ -708,7 +710,7 @@ func (p *Platform) RunRequests(reqs []trace.Request) (Result, error) {
 		Stages:     p.Host.StageBreakdown(),
 	}
 	res.Saturated, res.BacklogGrowth = p.Host.Saturation()
-	res.WallSeconds = time.Since(wallStart).Seconds()
+	res.WallSeconds = time.Since(wallStart).Seconds() //ssdx:wallclock
 	if res.WallSeconds > 0 {
 		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.simNow())) / 1000 / res.WallSeconds
 	}

@@ -113,7 +113,7 @@ func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
 		p.liveClass = q.SoleWriterClassification()
 	}
 
-	wallStart := time.Now()
+	wallStart := time.Now() //ssdx:wallclock
 	drained := false
 	handler := func(cmd *hostif.Command) { p.handleCommand(cmd, mode) }
 	if err := p.Host.RunMulti(q, handler, func() { drained = true }); err != nil {
@@ -149,7 +149,7 @@ func (p *Platform) RunTenants(set nvme.TenantSet, mode Mode) (Result, error) {
 	res.AllLat = p.Host.Latency().All()
 	res.Stages = p.Host.StageBreakdown()
 	res.Saturated, res.BacklogGrowth = p.Host.Saturation()
-	res.WallSeconds = time.Since(wallStart).Seconds()
+	res.WallSeconds = time.Since(wallStart).Seconds() //ssdx:wallclock
 	if res.WallSeconds > 0 {
 		res.KCPS = float64(p.CPU.Clock().CyclesAt(p.simNow())) / 1000 / res.WallSeconds
 	}

@@ -135,6 +135,8 @@ func (ch *Channel) SetSpanSink(sink func(sp *telemetry.Span, st telemetry.Stage,
 }
 
 // adv moves one span's stage watermark, through the sink when installed.
+//
+//ssdx:hotpath
 func (ch *Channel) adv(sp *telemetry.Span, st telemetry.Stage, at sim.Time) {
 	if sp == nil {
 		return
@@ -323,6 +325,8 @@ type dieOp struct {
 }
 
 // advance moves every attached span's watermark (nil entries skipped).
+//
+//ssdx:hotpath
 func (op *dieOp) advance(st telemetry.Stage, now sim.Time) {
 	op.ch.adv(op.span, st, now)
 	for _, sp := range op.spans {
@@ -395,6 +399,8 @@ func (op *dieOp) bind() {
 // resource, splitting a mixed user/GC batch proportionally so relocation
 // work shows up under its own op kind. Flow steps connect the interval to
 // every traced command whose page rides the batch.
+//
+//ssdx:hotpath
 func (ch *Channel) recordProgram(op *dieOp, dur sim.Time) {
 	now := ch.k.Now()
 	res := ch.dieRes[op.die]
@@ -429,6 +435,8 @@ func (ch *Channel) getOp() *dieOp {
 
 // putOp clears an op's per-command state (keeping its owned slices and bound
 // callbacks) and returns it to the pool.
+//
+//ssdx:hotpath
 func (ch *Channel) putOp(op *dieOp) {
 	op.addrs = op.addrs[:0]
 	op.spans = op.spans[:0]
@@ -448,15 +456,23 @@ type opQueue struct {
 }
 
 // len reports queued ops.
+//
+//ssdx:hotpath
 func (oq *opQueue) len() int { return len(oq.q) - oq.head }
 
 // push appends an op in command order.
+//
+//ssdx:hotpath
 func (oq *opQueue) push(op *dieOp) { oq.q = append(oq.q, op) }
 
 // peek returns the head without removing it.
+//
+//ssdx:hotpath
 func (oq *opQueue) peek() *dieOp { return oq.q[oq.head] }
 
 // pop removes and returns the head.
+//
+//ssdx:hotpath
 func (oq *opQueue) pop() *dieOp {
 	op := oq.q[oq.head]
 	oq.q[oq.head] = nil
@@ -472,6 +488,8 @@ func (oq *opQueue) pop() *dieOp {
 func (op *dieOp) writeReady() bool { return op.fetched && op.prepped }
 
 // enqueue appends an op in command order and pumps the die.
+//
+//ssdx:hotpath
 func (ch *Channel) enqueue(die int, op *dieOp) {
 	ch.dieQ[die].push(op)
 	if ch.tr != nil {
@@ -482,6 +500,8 @@ func (ch *Channel) enqueue(die int, op *dieOp) {
 
 // pump starts the head-of-queue operation of a die when the die interface is
 // free (and, for writes, the data prefetch has landed in the SRAM cache).
+//
+//ssdx:hotpath
 func (ch *Channel) pump(die int) {
 	if ch.dieBusy[die] || ch.dieQ[die].len() == 0 {
 		return
@@ -509,11 +529,14 @@ func (ch *Channel) pump(die int) {
 }
 
 // release frees the die interface and pumps the next queued op.
+//
+//ssdx:hotpath
 func (ch *Channel) release(die int) {
 	ch.dieBusy[die] = false
 	ch.pump(die)
 }
 
+//ssdx:hotpath
 func (ch *Channel) startWrite(die int, op *dieOp) {
 	// Command/address plus data-in cycles occupy the (gang-dependent) bus;
 	// op.onBusDone issues the program at the end of the granted window.
@@ -632,21 +655,11 @@ func (ch *Channel) WriteMultiPrep(die int, addrs []nand.Addr, pageBytes int, spa
 // interval so gcPages' share is attributed to the gc_program op kind instead
 // of user program time (relocations are typically spanless, so this is the
 // only place their array time becomes visible).
+//
+//ssdx:hotpath
 func (ch *Channel) WriteMultiPrepGC(die int, addrs []nand.Addr, pageBytes int, spans []*telemetry.Span, gcPages int, prep func(ready func()), done func()) error {
-	if err := ch.checkDie(die); err != nil {
+	if err := ch.checkProgram(die, addrs, pageBytes, spans, gcPages); err != nil {
 		return err
-	}
-	if pageBytes <= 0 {
-		return errors.New("ctrl: non-positive page size")
-	}
-	if len(addrs) == 0 {
-		return errors.New("ctrl: empty address list")
-	}
-	if len(spans) != 0 && len(spans) != len(addrs) {
-		return fmt.Errorf("ctrl: %d spans for %d addresses", len(spans), len(addrs))
-	}
-	if gcPages < 0 || gcPages > len(addrs) {
-		return fmt.Errorf("ctrl: %d GC pages for %d addresses", gcPages, len(addrs))
 	}
 	op := ch.getOp()
 	op.gcPages = gcPages
@@ -666,6 +679,27 @@ func (ch *Channel) WriteMultiPrepGC(die int, addrs []nand.Addr, pageBytes int, s
 	ch.enqueue(die, op)
 	// Prefetch: SRAM slot, DRAM read, AHB transfer; then mark data ready.
 	ch.cache.AcquireWhenFree(op.onSlotWrite)
+	return nil
+}
+
+// checkProgram validates a multi-page program request. Split out of
+// WriteMultiPrepGC so the error formatting stays off the annotated hot path.
+func (ch *Channel) checkProgram(die int, addrs []nand.Addr, pageBytes int, spans []*telemetry.Span, gcPages int) error {
+	if err := ch.checkDie(die); err != nil {
+		return err
+	}
+	if pageBytes <= 0 {
+		return errors.New("ctrl: non-positive page size")
+	}
+	if len(addrs) == 0 {
+		return errors.New("ctrl: empty address list")
+	}
+	if len(spans) != 0 && len(spans) != len(addrs) {
+		return fmt.Errorf("ctrl: %d spans for %d addresses", len(spans), len(addrs))
+	}
+	if gcPages < 0 || gcPages > len(addrs) {
+		return fmt.Errorf("ctrl: %d GC pages for %d addresses", gcPages, len(addrs))
+	}
 	return nil
 }
 

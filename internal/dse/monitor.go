@@ -73,7 +73,7 @@ func (m *Monitor) Observe(ev Eval) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.started {
-		m.start = time.Now()
+		m.start = time.Now() //ssdx:wallclock
 		m.started = true
 	}
 	m.done++
@@ -118,7 +118,7 @@ func (m *Monitor) rateLocked() (pointsPerSec, etaSeconds float64) {
 	if !m.started || m.done == 0 {
 		return 0, 0
 	}
-	elapsed := time.Since(m.start).Seconds()
+	elapsed := time.Since(m.start).Seconds() //ssdx:wallclock
 	if elapsed <= 0 {
 		return 0, 0
 	}
@@ -130,6 +130,8 @@ func (m *Monitor) rateLocked() (pointsPerSec, etaSeconds float64) {
 }
 
 // Report snapshots the live state.
+//
+//ssdx:export
 func (m *Monitor) Report() ProgressReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -142,7 +144,7 @@ func (m *Monitor) Report() ProgressReport {
 		Front: make([]FrontEntry, 0, len(m.front)),
 	}
 	if m.started {
-		rep.ElapsedSeconds = time.Since(m.start).Seconds()
+		rep.ElapsedSeconds = time.Since(m.start).Seconds() //ssdx:wallclock
 	}
 	for _, fp := range m.front {
 		fe := FrontEntry{

@@ -185,7 +185,7 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 			processed[i] = true
 			rm.started.Inc()
 			rm.inflight.Add(1)
-			begin := time.Now()
+			begin := time.Now() //ssdx:wallclock
 			ev := Eval{Point: pts[i]}
 			key := ""
 			if r.Cache != nil {
@@ -220,7 +220,7 @@ func (r *Runner) Run(ctx context.Context, pts []Point) ([]Eval, error) {
 					}
 				}
 			}
-			ev.WallSeconds = time.Since(begin).Seconds()
+			ev.WallSeconds = time.Since(begin).Seconds() //ssdx:wallclock
 			rm.inflight.Add(-1)
 			rm.completed.Inc()
 			switch {

@@ -1,0 +1,244 @@
+// Package analysistest runs analyzers over small fixture packages and checks
+// their diagnostics against expectations written in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	x := timeNow() // want `wall clock`
+//
+// declares that the analyzer must report a diagnostic on that line whose
+// message matches the regular expression. Several expectations may share one
+// comment (multiple quoted regexps). Fixture packages live under
+// testdata/src/<path>; imports resolve against sibling fixture directories
+// first and the standard library (via `go list -export`) second.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run loads the fixture package at testdata/src/<path>, applies the
+// analyzers, and compares the merged diagnostics against the fixture's
+// `// want` expectations.
+func Run(t *testing.T, testdata, path string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	pkg, err := ld.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analyzers...)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+	checkExpectations(t, pkg, diags)
+}
+
+// expectation is one `// want` clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations reconciles diagnostics with the fixture's want comments.
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Slash)
+				for _, pat := range wantPatterns(t, c.Text, pos) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Category, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantPatterns extracts the quoted regexps from a `// want` comment.
+func wantPatterns(t *testing.T, comment string, pos token.Position) []string {
+	t.Helper()
+	idx := strings.Index(comment, "want ")
+	if !strings.HasPrefix(comment, "//") || idx < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(comment[idx+len("want "):])
+	var pats []string
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern", pos)
+			}
+			pats = append(pats, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		case '"':
+			// Find the closing quote, honoring escapes.
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern", pos)
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, rest[:end+1], err)
+			}
+			pats = append(pats, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted or backquoted: %q", pos, rest)
+		}
+	}
+	return pats
+}
+
+// loader type-checks fixture packages, resolving imports among fixtures and
+// against the standard library's export data.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]*analysis.Package
+	imp     *fixtureImporter
+}
+
+func newLoader(srcRoot string) *loader {
+	ld := &loader{srcRoot: srcRoot, fset: token.NewFileSet(), cache: make(map[string]*analysis.Package)}
+	ld.imp = &fixtureImporter{ld: ld}
+	return ld
+}
+
+// load parses and type-checks the fixture package at path (relative to the
+// src root).
+func (ld *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld.imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	pkg := &analysis.Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	ld.cache[path] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter resolves imports for fixture packages: a sibling fixture
+// directory wins, anything else is assumed to be a standard library package.
+type fixtureImporter struct {
+	ld *loader
+	ei *analysis.ExportImporter
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(fi.ld.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		pkg, err := fi.ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	exports, err := stdExports()
+	if err != nil {
+		return nil, err
+	}
+	if fi.ei == nil {
+		fi.ei = analysis.NewExportImporter(fi.ld.fset, nil, exports)
+	}
+	return fi.ei.Import(path)
+}
+
+// stdExports maps the standard-library packages fixtures may import to their
+// export data files, produced once per test process by `go list -export`.
+var stdExports = sync.OnceValues(func() (map[string]string, error) {
+	pkgs, err := analysis.ListExports("", fixtureStdPackages...)
+	if err != nil {
+		return nil, fmt.Errorf("listing std export data: %v", err)
+	}
+	return pkgs, nil
+})
+
+// fixtureStdPackages is the closed set of standard-library roots fixture
+// packages may import (dependencies come along automatically).
+var fixtureStdPackages = []string{"fmt", "io", "sort", "strings", "time", "errors", "strconv"}

@@ -1,0 +1,95 @@
+// Package lint is the ssdxlint analyzer suite: custom static checks that
+// turn the simulator's three load-bearing conventions — simulated time never
+// derives from the wall clock, observability hooks are nil-safe, exported
+// artifacts iterate maps in sorted order — plus the zero-alloc hot-path
+// discipline into compiler-checked rules instead of after-the-fact runtime
+// goldens. The analyzers run through cmd/ssdxlint, either standalone or as a
+// `go vet -vettool=` plugin.
+//
+// Escape hatches are source annotations in the //go:-directive style:
+//
+//	//ssdx:wallclock  sanctions a wall-clock call (self-profiling only; the
+//	                  value must still never reach simulated time)
+//	//ssdx:hotpath    on a function declaration: the body must not allocate
+//	//ssdx:nilhook    on a type declaration: exported pointer methods must
+//	                  open with a nil-receiver guard
+//	//ssdx:export     on a function declaration: marks a determinism root
+//	                  for the map-iteration check (io.Writer parameters are
+//	                  detected automatically)
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Annotation markers.
+const (
+	MarkWallClock = "ssdx:wallclock"
+	MarkHotPath   = "ssdx:hotpath"
+	MarkNilHook   = "ssdx:nilhook"
+	MarkExport    = "ssdx:export"
+)
+
+// hasMarker reports whether any line of the comment group is the given ssdx
+// directive (leading whitespace tolerated, trailing rationale allowed).
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// markerLines returns the set of source lines in file carrying the marker
+// (anywhere in a comment, including trailing comments on code lines).
+func markerLines(pass *analysis.Pass, file *ast.File, marker string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == marker || strings.HasPrefix(text, marker+" ") {
+				lines[pass.Position(c.Slash).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// sanctioned reports whether pos is covered by a marker: same line, the line
+// directly above, or the doc comment of the enclosing function declaration.
+func sanctioned(pass *analysis.Pass, file *ast.File, lines map[int]bool, pos token.Pos, marker string) bool {
+	line := pass.Position(pos).Line
+	if lines[line] || lines[line-1] {
+		return true
+	}
+	if fd := enclosingFuncDecl(file, pos); fd != nil && hasMarker(fd.Doc, marker) {
+		return true
+	}
+	return false
+}
+
+// enclosingFuncDecl returns the function declaration whose extent contains
+// pos, if any.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos < fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// typeSpecMarked reports whether a type declaration carries the marker, on
+// either the enclosing GenDecl's doc, the spec's own doc, or its line comment.
+func typeSpecMarked(gd *ast.GenDecl, ts *ast.TypeSpec, marker string) bool {
+	return hasMarker(gd.Doc, marker) || hasMarker(ts.Doc, marker) || hasMarker(ts.Comment, marker)
+}

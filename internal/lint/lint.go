@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Suite is the full ssdxlint analyzer set, in reporting order.
+var Suite = []*analysis.Analyzer{SimClock, NilHook, MapDet, HotPath}
+
+// modulePath is the module every analyzer target lives in.
+const modulePath = "repro"
+
+// InScope reports whether the suite analyzes the package at all: module
+// packages only, never the lint framework itself (its fixtures deliberately
+// violate every rule) and never test variants.
+func InScope(pkgPath string) bool {
+	if pkgPath != modulePath && !strings.HasPrefix(pkgPath, modulePath+"/") {
+		return false
+	}
+	if strings.HasPrefix(pkgPath, modulePath+"/internal/lint") {
+		return false
+	}
+	return true
+}
+
+// Applies reports whether one analyzer applies to the package. simclock is
+// scoped to simulation packages — in this tree every module package models or
+// drives simulated time, so the whole module is simulation scope; the other
+// analyzers are annotation-driven and run everywhere in scope.
+func Applies(a *analysis.Analyzer, pkgPath string) bool {
+	return InScope(pkgPath)
+}

@@ -1,0 +1,95 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+// testdata returns the fixture root next to this test file.
+func testdata(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test file")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+func TestSimClock(t *testing.T) {
+	analysistest.Run(t, testdata(t), "simclock", lint.SimClock)
+}
+
+func TestNilHook(t *testing.T) {
+	analysistest.Run(t, testdata(t), "nilhook", lint.NilHook)
+}
+
+func TestMapDet(t *testing.T) {
+	analysistest.Run(t, testdata(t), "mapdet", lint.MapDet)
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, testdata(t), "hotpath", lint.HotPath)
+}
+
+// TestMultichecker smokes the whole suite over one fixture package,
+// exercising the merged, deterministically ordered reporting path the
+// ssdxlint binary uses.
+func TestMultichecker(t *testing.T) {
+	analysistest.Run(t, testdata(t), "multi", lint.Suite...)
+}
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro", true},
+		{"repro/internal/sim", true},
+		{"repro/internal/telemetry/metrics", true},
+		{"repro/internal/lint", false},
+		{"repro/internal/lint/analysis", false},
+		{"fmt", false},
+		{"reproX/internal/sim", false},
+	}
+	for _, c := range cases {
+		if got := lint.InScope(c.path); got != c.want {
+			t.Errorf("InScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestTreeClean runs the suite over the whole module: the committed tree must
+// stay lint-clean, so every sanctioned wall-clock site carries its annotation
+// and every annotated hot path really avoids allocating constructs.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root := filepath.Join(testdata(t), "..", "..", "..")
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		if !lint.InScope(pkg.Path) {
+			continue
+		}
+		checked++
+		diags, err := analysis.RunAnalyzers(pkg, lint.Suite...)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Category, d.Message)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no in-scope packages analyzed")
+	}
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapDet enforces deterministic export order: Go map iteration order is
+// random per run, so any `for range` over a map inside a function reachable
+// from an exporter would make fixed-seed output differ between runs. The
+// byte-identical-output contract (Result assembly, CSV, Perfetto, Prometheus
+// exposition, the run journal) depends on every such loop first materializing
+// and sorting the keys.
+//
+// Exporter roots are functions that take an io.Writer (the shape of every
+// serializer in the tree) plus functions annotated //ssdx:export (Result
+// assembly and other writer-less determinism roots). Reachability is computed
+// over the package's static call/reference graph. The one exempt loop shape
+// is key collection — a single-statement body appending the range key to a
+// slice that the same function subsequently passes to a sort or slices
+// function.
+var MapDet = &analysis.Analyzer{
+	Name: "mapdet",
+	Doc:  "map iteration in exporter-reachable functions must run over sorted keys",
+	Run:  runMapDet,
+}
+
+func runMapDet(pass *analysis.Pass) (any, error) {
+	// Collect this package's function declarations and the exporter roots.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var roots []types.Object
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if hasMarker(fd.Doc, MarkExport) || hasWriterParam(obj) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+
+	// Reachability over static calls and function references within the
+	// package. References (method values, callbacks handed to sort.Slice,
+	// walkers, ...) count as edges: over-approximating keeps the determinism
+	// guarantee conservative.
+	reachable := make(map[types.Object]bool)
+	queue := append([]types.Object(nil), roots...)
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		if reachable[obj] {
+			continue
+		}
+		reachable[obj] = true
+		fd := decls[obj]
+		if fd == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+				if _, isDecl := decls[fn]; isDecl && !reachable[fn] {
+					queue = append(queue, fn)
+				}
+			}
+			return true
+		})
+	}
+
+	for obj := range reachable {
+		fd := decls[obj]
+		if fd == nil {
+			continue
+		}
+		checkMapRanges(pass, fd)
+	}
+	return nil, nil
+}
+
+// hasWriterParam reports whether the function signature takes an io.Writer.
+func hasWriterParam(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, ok := sig.Params().At(i).Type().(*types.Named); ok {
+			tn := named.Obj()
+			if tn.Name() == "Writer" && tn.Pkg() != nil && tn.Pkg().Path() == "io" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkMapRanges reports non-exempt map iterations in the function.
+func checkMapRanges(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isKeyCollectionLoop(pass, fd, rs) {
+			return true
+		}
+		pass.Reportf(rs.Range,
+			"map iteration order is random and this function is reachable from an exporter; collect the keys, sort them, and iterate the sorted slice")
+		return true
+	})
+}
+
+// isKeyCollectionLoop recognizes the sanctioned pattern
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)   // or any sort.*/slices.* call on keys
+//
+// The body must be exactly the append of the range key, and the destination
+// slice must later be handed to the sort or slices package inside the same
+// function declaration.
+func isKeyCollectionLoop(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	if rs.Value != nil {
+		if vid, ok := rs.Value.(*ast.Ident); !ok || vid.Name != "_" {
+			return false
+		}
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dest, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	appendedKey := false
+	for _, arg := range call.Args[1:] {
+		if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == pass.TypesInfo.Defs[keyID] {
+			appendedKey = true
+		}
+	}
+	if !appendedKey {
+		return false
+	}
+	destObj := objectOf(pass, dest)
+	if destObj == nil {
+		return false
+	}
+	// The collected keys must be sorted somewhere in this function.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && objectOf(pass, id) == destObj {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// objectOf resolves an identifier through either Uses or Defs.
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

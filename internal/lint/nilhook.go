@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// NilHook enforces the simulator's hook discipline: observability hook types
+// (tracers, metrics) are carried as possibly-nil pointers so that "off" costs
+// a single predictable branch and zero allocations. Every exported
+// pointer-receiver method of a designated hook type must therefore open with
+// a nil-receiver guard, and hook types must not expose exported value-receiver
+// methods (calling one through a nil pointer panics on the implicit deref).
+//
+// Types are designated by the //ssdx:nilhook annotation on their declaration;
+// the simulator's known hook types are built in as a backstop so removing an
+// annotation cannot silence the check.
+var NilHook = &analysis.Analyzer{
+	Name: "nilhook",
+	Doc:  "exported methods of hook types must begin with a nil-receiver guard",
+	Run:  runNilHook,
+}
+
+// builtinHookTypes is the backstop list of designated hook types per package
+// path.
+var builtinHookTypes = map[string][]string{
+	"repro/internal/telemetry/trace":   {"Tracer"},
+	"repro/internal/telemetry/metrics": {"Registry", "Counter", "Gauge", "Histogram"},
+}
+
+func runNilHook(pass *analysis.Pass) (any, error) {
+	hooks := make(map[string]bool)
+	for _, name := range builtinHookTypes[pass.Pkg.Path()] {
+		hooks[name] = true
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if typeSpecMarked(gd, ts, MarkNilHook) {
+					hooks[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(hooks) == 0 {
+		return nil, nil
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, typeName, isPointer := receiverShape(fd.Recv.List[0])
+			if !hooks[typeName] {
+				continue
+			}
+			if !isPointer {
+				pass.Reportf(fd.Name.Pos(),
+					"hook type %s: exported method %s must use a pointer receiver (hook values travel as possibly-nil pointers)",
+					typeName, fd.Name.Name)
+				continue
+			}
+			if recvName == "" || recvName == "_" {
+				pass.Reportf(fd.Name.Pos(),
+					"hook type %s: exported method %s discards its receiver and cannot guard against nil",
+					typeName, fd.Name.Name)
+				continue
+			}
+			if fd.Body == nil {
+				continue // assembly or external implementation; out of scope
+			}
+			if !startsWithNilGuard(pass, fd) {
+				pass.Reportf(fd.Name.Pos(),
+					"hook type %s: exported method %s must begin with a nil-receiver guard (if %s == nil { ... } or an if %s != nil wrapper)",
+					typeName, fd.Name.Name, recvName, recvName)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// receiverShape extracts the receiver variable name, base type name and
+// pointerness from a receiver field.
+func receiverShape(field *ast.Field) (recvName, typeName string, isPointer bool) {
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		isPointer = true
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName, isPointer
+}
+
+// startsWithNilGuard reports whether the method body's first statement is an
+// if statement whose condition compares the receiver against nil (either
+// polarity: an early-return `if r == nil` guard or an `if r != nil` wrapper).
+func startsWithNilGuard(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	recvObj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	found := false
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isReceiver(pass, be.X, recvObj) && isNil(be.Y) ||
+			isReceiver(pass, be.Y, recvObj) && isNil(be.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isReceiver(pass *analysis.Pass, e ast.Expr, recvObj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || recvObj == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	return obj != nil && obj == recvObj
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// SimClock flags wall-clock usage in simulation packages. The simulator's
+// determinism contract is that a fixed seed produces a byte-identical run, so
+// simulated time must be a pure function of the event schedule: time.Now and
+// friends may appear only at explicitly sanctioned self-profiling sites
+// (//ssdx:wallclock), and no wall-clock-derived value may ever flow into a
+// Kernel.Schedule/Kernel.At/Domain.Post delay argument — not even from a
+// sanctioned call site.
+var SimClock = &analysis.Analyzer{
+	Name: "simclock",
+	Doc: "flag wall-clock calls in simulation packages unless annotated //ssdx:wallclock, " +
+		"and any wall-clock-derived value feeding a simulated-time delay",
+	Run: runSimClock,
+}
+
+// wallClockFuncs are the package-time functions that read or depend on the
+// wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runSimClock(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		notes := markerLines(pass, file, MarkWallClock)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sc := &simclockFunc{pass: pass, file: file, notes: notes}
+			sc.check(fd)
+		}
+	}
+	return nil, nil
+}
+
+// simclockFunc analyzes one function: it reports unsanctioned wall-clock
+// calls and runs a small intra-procedural taint pass from wall-clock values
+// to simulated-time delay arguments.
+type simclockFunc struct {
+	pass    *analysis.Pass
+	file    *ast.File
+	notes   map[int]bool
+	tainted map[types.Object]bool
+}
+
+func (sc *simclockFunc) check(fd *ast.FuncDecl) {
+	// Report unsanctioned wall-clock calls.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := sc.wallClockCall(call); name != "" {
+			if !sanctioned(sc.pass, sc.file, sc.notes, call.Pos(), MarkWallClock) {
+				sc.pass.Reportf(call.Pos(),
+					"wall clock in simulation package: time.%s (annotate //ssdx:wallclock if this is a self-profiling site)", name)
+			}
+		}
+		return true
+	})
+
+	// Taint: propagate wall-clock-derived values through assignments to a
+	// fixed point, then check delay-argument sinks. Sanctioning a call site
+	// does not launder the value — feeding simulated time is never allowed.
+	sc.tainted = make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+					if sc.exprTainted(st.Rhs[0]) {
+						for _, lhs := range st.Lhs {
+							changed = sc.taintLHS(lhs) || changed
+						}
+					}
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if i < len(st.Lhs) && sc.exprTainted(rhs) {
+						changed = sc.taintLHS(st.Lhs[i]) || changed
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range st.Values {
+					if sc.exprTainted(v) {
+						if len(st.Names) == len(st.Values) {
+							changed = sc.taintObj(sc.pass.TypesInfo.Defs[st.Names[i]]) || changed
+						} else {
+							for _, name := range st.Names {
+								changed = sc.taintObj(sc.pass.TypesInfo.Defs[name]) || changed
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if idx, meth := sc.delaySink(call); idx >= 0 && idx < len(call.Args) {
+			if sc.exprTainted(call.Args[idx]) {
+				sc.pass.Reportf(call.Args[idx].Pos(),
+					"wall-clock-derived value flows into %s delay: simulated time must not depend on the host clock", meth)
+			}
+		}
+		return true
+	})
+}
+
+// wallClockCall returns the time.<Func> name if call is a wall-clock call.
+func (sc *simclockFunc) wallClockCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !wallClockFuncs[sel.Sel.Name] {
+		return ""
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := sc.pass.TypesInfo.Uses[x].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "time" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// exprTainted reports whether the expression contains a wall-clock call or a
+// tainted identifier.
+func (sc *simclockFunc) exprTainted(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sc.wallClockCall(e) != "" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := sc.pass.TypesInfo.Uses[e]; obj != nil && sc.tainted[obj] {
+				found = true
+				return false
+			}
+		case *ast.FuncLit:
+			return false // values do not flow out of a closure body here
+		}
+		return true
+	})
+	return found
+}
+
+// taintLHS marks an assignment target as tainted; only plain identifiers are
+// tracked (field/index stores are out of scope for this lightweight pass).
+func (sc *simclockFunc) taintLHS(lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	if obj := sc.pass.TypesInfo.Defs[id]; obj != nil {
+		return sc.taintObj(obj)
+	}
+	return sc.taintObj(sc.pass.TypesInfo.Uses[id])
+}
+
+func (sc *simclockFunc) taintObj(obj types.Object) bool {
+	if obj == nil || sc.tainted[obj] {
+		return false
+	}
+	sc.tainted[obj] = true
+	return true
+}
+
+// delaySink recognizes the simulated-time scheduling methods and returns the
+// index of their delay/timestamp argument: Kernel.Schedule(delay, fn),
+// Kernel.At(t, fn) and Domain.Post(to, delay, fn) on the sim package's types.
+func (sc *simclockFunc) delaySink(call *ast.CallExpr) (int, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return -1, ""
+	}
+	var recvType, method string
+	switch sel.Sel.Name {
+	case "Schedule", "At":
+		recvType, method = "Kernel", sel.Sel.Name
+	case "Post":
+		recvType, method = "Domain", "Post"
+	default:
+		return -1, ""
+	}
+	selection := sc.pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return -1, ""
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return -1, ""
+	}
+	obj := named.Obj()
+	if obj.Name() != recvType || obj.Pkg() == nil || obj.Pkg().Name() != "sim" {
+		return -1, ""
+	}
+	if method == "Post" {
+		return 1, "Domain.Post"
+	}
+	return 0, "Kernel." + method
+}

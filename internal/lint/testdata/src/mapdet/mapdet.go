@@ -1,0 +1,58 @@
+// Package mapdet exercises the mapdet analyzer: map iteration in functions
+// reachable from an exporter (io.Writer parameter or //ssdx:export) must run
+// over sorted keys.
+package mapdet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Export is a root via its io.Writer parameter.
+func Export(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order is random`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+	helper(m)
+}
+
+// helper is reachable from Export, so its map range is flagged too.
+func helper(m map[string]int) {
+	for k := range m { // want `map iteration order is random`
+		_ = k
+	}
+}
+
+// Sorted uses the sanctioned collect-and-sort shape.
+func Sorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Assemble is a writer-less root via the annotation.
+//
+//ssdx:export
+func Assemble(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is random`
+		total += v
+	}
+	return total
+}
+
+// free is not reachable from any root: its iteration order is invisible to
+// exported artifacts, so it passes.
+func free(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

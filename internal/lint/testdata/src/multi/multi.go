@@ -1,0 +1,38 @@
+// Package multi is the multichecker smoke fixture: one violation per
+// analyzer, all reported in a single merged run of the full suite.
+package multi
+
+import (
+	"fmt"
+	"io"
+	"sim"
+	"time"
+)
+
+// Hook is a designated hook type with an unguarded method.
+//
+//ssdx:nilhook
+type Hook struct{ n int }
+
+// Bump lacks the nil guard.
+func (h *Hook) Bump() { h.n++ } // want `hook type Hook: exported method Bump must begin with a nil-receiver guard`
+
+// Drive reads the wall clock and feeds it to the kernel.
+func Drive(k *sim.Kernel) {
+	t := time.Now()                               // want `wall clock in simulation package: time\.Now`
+	k.Schedule(sim.Time(t.UnixNano()), func() {}) // want `wall-clock-derived value flows into Kernel\.Schedule delay`
+}
+
+// Dump iterates a map on the export path.
+func Dump(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration order is random`
+		fmt.Fprintln(w, k)
+	}
+}
+
+// Fast is annotated but allocates.
+//
+//ssdx:hotpath
+func Fast(n int) string {
+	return fmt.Sprintf("%d", n) // want `hot path: fmt\.Sprintf allocates`
+}

@@ -1,0 +1,56 @@
+// Package nilhook exercises the nilhook analyzer: designated hook types must
+// expose exported methods only as pointer receivers whose bodies open with a
+// nil-receiver guard.
+package nilhook
+
+// Hook is a designated hook type.
+//
+//ssdx:nilhook
+type Hook struct{ n int }
+
+// Guarded opens with the early-return guard polarity.
+func (h *Hook) Guarded() {
+	if h == nil {
+		return
+	}
+	h.n++
+}
+
+// Wrapped uses the wrapper polarity.
+func (h *Hook) Wrapped() {
+	if h != nil {
+		h.n++
+	}
+}
+
+// CompoundGuard embeds the nil test in a larger condition.
+func (h *Hook) CompoundGuard(on bool) {
+	if h == nil || !on {
+		return
+	}
+	h.n++
+}
+
+// Unguarded's first statement is not a nil check.
+func (h *Hook) Unguarded() { // want `hook type Hook: exported method Unguarded must begin with a nil-receiver guard`
+	h.n++
+	if h == nil {
+		return
+	}
+}
+
+// ValueRecv cannot be called on a nil pointer without dereferencing.
+func (h Hook) ValueRecv() int { return h.n } // want `hook type Hook: exported method ValueRecv must use a pointer receiver`
+
+// Discard throws the receiver away, so no guard is possible.
+func (*Hook) Discard() {} // want `hook type Hook: exported method Discard discards its receiver and cannot guard against nil`
+
+// unexported methods are callers' business, not part of the hook surface.
+func (h *Hook) internal() { h.n++ }
+
+// plain is not designated; its methods are unconstrained.
+type plain struct{ n int }
+
+func (p *plain) Loose() { p.n++ }
+
+func (p plain) Value() int { return p.n }

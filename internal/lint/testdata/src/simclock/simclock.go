@@ -1,0 +1,71 @@
+// Package simclock exercises the simclock analyzer: unsanctioned wall-clock
+// calls, the //ssdx:wallclock escape hatch in its three placements, and the
+// taint pass from wall-clock values to simulated-time delay arguments.
+package simclock
+
+import (
+	"sim"
+	"time"
+)
+
+// Bare wall-clock calls are flagged.
+func bare() {
+	_ = time.Now()        // want `wall clock in simulation package: time.Now`
+	time.Sleep(1)         // want `wall clock in simulation package: time.Sleep`
+	_ = time.Since(now()) // want `wall clock in simulation package: time.Since`
+}
+
+func now() time.Time { return time.Time{} }
+
+// A trailing marker sanctions the same line.
+func sameLine() {
+	_ = time.Now() //ssdx:wallclock
+}
+
+// A marker on the line above sanctions the next line.
+func lineAbove() {
+	//ssdx:wallclock
+	_ = time.Now()
+}
+
+// A marker in the function's doc comment sanctions the whole body.
+//
+//ssdx:wallclock
+func wholeFunc() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Sanctioning never launders the value: a wall-clock-derived quantity must
+// not reach a delay argument, whatever the annotation says.
+func launder(k *sim.Kernel) {
+	start := time.Now()                      //ssdx:wallclock
+	elapsed := time.Since(start)             //ssdx:wallclock
+	k.Schedule(sim.Time(elapsed), func() {}) // want `wall-clock-derived value flows into Kernel\.Schedule delay`
+}
+
+// Taint propagates through plain assignments to every delay sink.
+func sinks(k *sim.Kernel, d, e *sim.Domain) {
+	t := time.Now() // want `wall clock in simulation package: time.Now`
+	v := t.UnixNano()
+	w := v + 1
+	k.At(sim.Time(w), func() {})      // want `wall-clock-derived value flows into Kernel\.At delay`
+	d.Post(e, sim.Time(w), func() {}) // want `wall-clock-derived value flows into Domain\.Post delay`
+}
+
+// Untainted delays pass.
+func clean(k *sim.Kernel, d, e *sim.Domain) {
+	var delay sim.Time = 10
+	k.Schedule(delay, func() {})
+	k.At(delay, func() {})
+	d.Post(e, delay, func() {})
+}
+
+// A closure's wall-clock use does not taint values assigned outside it, but
+// the call inside the closure is still reported.
+func closureScope(k *sim.Kernel) {
+	fn := func() int64 {
+		return time.Now().UnixNano() // want `wall clock in simulation package: time.Now`
+	}
+	k.Schedule(sim.Time(1), func() { _ = fn() })
+}

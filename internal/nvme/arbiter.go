@@ -59,6 +59,8 @@ func newBurster(tenants []Tenant) burster {
 
 // pick serves the in-progress burst if its queue is still a candidate,
 // otherwise defers to inner and opens the winner's burst.
+//
+//ssdx:hotpath
 func (b *burster) pick(candidates []int, inner func([]int) int) int {
 	if b.left > 0 {
 		for _, q := range candidates {
@@ -78,6 +80,8 @@ func (b *burster) pick(candidates []int, inner func([]int) int) int {
 type roundRobin struct{ last int }
 
 // pick returns the first ready index strictly after last, wrapping.
+//
+//ssdx:hotpath
 func (r *roundRobin) pick(ready []int) int {
 	choice := ready[0]
 	for _, q := range ready {
@@ -97,7 +101,9 @@ type rrArbiter struct {
 	b  burster
 }
 
-func (a *rrArbiter) Name() string         { return PolicyRR.String() }
+func (a *rrArbiter) Name() string { return PolicyRR.String() }
+
+//ssdx:hotpath
 func (a *rrArbiter) Pick(ready []int) int { return a.b.pick(ready, a.rr.pick) }
 
 // wrrArbiter is NVMe weighted round robin with an urgent class: urgent
@@ -120,6 +126,7 @@ type wrrArbiter struct {
 
 func (a *wrrArbiter) Name() string { return PolicyWRR.String() }
 
+//ssdx:hotpath
 func (a *wrrArbiter) Pick(ready []int) int {
 	a.urgentBuf, a.weightedBuf = a.urgentBuf[:0], a.weightedBuf[:0]
 	for _, q := range ready {
@@ -164,6 +171,7 @@ type prioArbiter struct {
 
 func (a *prioArbiter) Name() string { return PolicyPrio.String() }
 
+//ssdx:hotpath
 func (a *prioArbiter) Pick(ready []int) int {
 	best := a.class[ready[0]]
 	for _, q := range ready[1:] {

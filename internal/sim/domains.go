@@ -55,6 +55,8 @@ func (d *Domain) ID() int { return d.id }
 // must not land inside it) and panics otherwise. Post must be called from
 // the sender domain's executing event — that is what makes the send order,
 // and therefore the deterministic merge at the barrier, well defined.
+//
+//ssdx:hotpath
 func (d *Domain) Post(to *Domain, delay Time, fn func()) {
 	if fn == nil {
 		panic("sim: nil cross-domain callback")
@@ -64,10 +66,16 @@ func (d *Domain) Post(to *Domain, delay Time, fn func()) {
 		return
 	}
 	if delay < d.ds.lookahead {
-		panic(fmt.Sprintf("sim: cross-domain delay %v below lookahead %v violates causality",
-			delay, d.ds.lookahead))
+		causalityPanic(delay, d.ds.lookahead)
 	}
 	d.out = append(d.out, message{at: d.K.Now() + delay, to: to.id, fn: fn})
+}
+
+// causalityPanic formats the lookahead-violation panic off the hot path so
+// Post itself stays allocation-free.
+func causalityPanic(delay, lookahead Time) {
+	panic(fmt.Sprintf("sim: cross-domain delay %v below lookahead %v violates causality",
+		delay, lookahead))
 }
 
 // DomainSet coordinates n clock domains through conservative lookahead
@@ -270,17 +278,17 @@ func (ds *DomainSet) worker(w int, work chan int) {
 	timed := busy != nil || idle != nil
 	var last time.Time
 	if timed {
-		last = time.Now()
+		last = time.Now() //ssdx:wallclock
 	}
 	for id := range work {
 		if timed {
-			now := time.Now()
+			now := time.Now() //ssdx:wallclock
 			idle.Add(uint64(now.Sub(last)))
 			last = now
 		}
 		ds.domains[id].K.Run(ds.horizon)
 		if timed {
-			now := time.Now()
+			now := time.Now() //ssdx:wallclock
 			busy.Add(uint64(now.Sub(last)))
 			last = now
 		}

@@ -150,6 +150,8 @@ type Kernel struct {
 const eventFlushBatch = 8192
 
 // flushEvents publishes the not-yet-published executed-event delta.
+//
+//ssdx:hotpath
 func (k *Kernel) flushEvents() {
 	if k.Events != nil && k.Executed != k.flushedEvents {
 		k.Events.Add(k.Executed - k.flushedEvents)
@@ -168,6 +170,8 @@ func (k *Kernel) Now() Time { return k.now }
 // Schedule runs fn after delay. A negative delay is treated as zero (the
 // event still runs after the current callback returns, preserving run-to-
 // completion semantics).
+//
+//ssdx:hotpath
 func (k *Kernel) Schedule(delay Time, fn func()) EventID {
 	if delay < 0 {
 		delay = 0
@@ -176,6 +180,8 @@ func (k *Kernel) Schedule(delay Time, fn func()) EventID {
 }
 
 // At runs fn at absolute time t (clamped to now).
+//
+//ssdx:hotpath
 func (k *Kernel) At(t Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: nil event callback")
@@ -191,6 +197,8 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 }
 
 // alloc takes an event from the free list, or allocates a fresh one.
+//
+//ssdx:hotpath
 func (k *Kernel) alloc() *event {
 	if e := k.free.Take(); e != nil {
 		return e
@@ -200,6 +208,8 @@ func (k *Kernel) alloc() *event {
 
 // recycle clears a finished event and returns it to the free list. The
 // generation bump invalidates every outstanding EventID for it.
+//
+//ssdx:hotpath
 func (k *Kernel) recycle(e *event) {
 	e.gen++
 	e.fn = nil
@@ -209,6 +219,8 @@ func (k *Kernel) recycle(e *event) {
 
 // Cancel removes a pending event. Cancelling an already-fired or already-
 // cancelled event is a no-op and returns false.
+//
+//ssdx:hotpath
 func (k *Kernel) Cancel(id EventID) bool {
 	if id.ev == nil || id.ev.gen != id.gen || id.ev.index < 0 {
 		return false
@@ -237,6 +249,8 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Run executes events until the queue drains, until an event beyond `until`
 // would fire, or until Stop is called. It returns the simulation time at
 // exit. Events scheduled exactly at `until` are executed.
+//
+//ssdx:hotpath
 func (k *Kernel) Run(until Time) Time {
 	k.stopped = false
 	for len(k.queue) > 0 && !k.stopped {

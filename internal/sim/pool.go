@@ -8,6 +8,8 @@ type FreeList[T any] struct{ items []*T }
 
 // Take pops a recycled object, or returns nil when the list is empty — the
 // caller constructs (and binds any reusable callbacks of) a fresh one.
+//
+//ssdx:hotpath
 func (f *FreeList[T]) Take() *T {
 	n := len(f.items)
 	if n == 0 {
@@ -21,4 +23,6 @@ func (f *FreeList[T]) Take() *T {
 
 // Give returns an object to the list. The caller clears any state that must
 // not survive recycling before handing it back.
+//
+//ssdx:hotpath
 func (f *FreeList[T]) Give(v *T) { f.items = append(f.items, v) }

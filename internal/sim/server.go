@@ -57,11 +57,15 @@ func (s *Server) Name() string { return s.name }
 // service *starts*, with the service window [start, end); the resource is
 // released automatically at end. FIFO order among equal priorities; lower
 // prio value is served first.
+//
+//ssdx:hotpath
 func (s *Server) Acquire(dur Time, fn func(start, end Time)) {
 	s.AcquirePrio(0, dur, fn)
 }
 
 // AcquirePrio is Acquire with an explicit priority class.
+//
+//ssdx:hotpath
 func (s *Server) AcquirePrio(prio int, dur Time, fn func(start, end Time)) {
 	if dur < 0 {
 		dur = 0
@@ -86,6 +90,8 @@ func (s *Server) AcquirePrio(prio int, dur Time, fn func(start, end Time)) {
 }
 
 // kick starts the next queued request if the resource is free.
+//
+//ssdx:hotpath
 func (s *Server) kick() {
 	if len(s.queue) == 0 {
 		return
@@ -178,6 +184,8 @@ func NewTokenGate(k *Kernel, capacity int) *TokenGate {
 }
 
 // TryAcquire takes a token immediately if available.
+//
+//ssdx:hotpath
 func (g *TokenGate) TryAcquire() bool {
 	if g.held < g.cap {
 		g.held++
@@ -188,6 +196,8 @@ func (g *TokenGate) TryAcquire() bool {
 }
 
 // AcquireWhenFree queues fn to run (holding a token) as soon as one frees.
+//
+//ssdx:hotpath
 func (g *TokenGate) AcquireWhenFree(fn func()) {
 	if g.TryAcquire() {
 		g.k.Schedule(0, fn)
@@ -200,6 +210,8 @@ func (g *TokenGate) AcquireWhenFree(fn func()) {
 }
 
 // Release returns a token, waking the oldest waiter if any.
+//
+//ssdx:hotpath
 func (g *TokenGate) Release() {
 	if g.held <= 0 {
 		panic("sim: TokenGate release without acquire")

@@ -27,6 +27,8 @@ import (
 
 // Counter is a monotonically-increasing uint64 metric. The zero value is
 // ready to use; all methods are nil-safe no-ops.
+//
+//ssdx:nilhook
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
@@ -53,6 +55,8 @@ func (c *Counter) Value() uint64 {
 
 // Gauge is an int64 metric that can go up and down. The zero value is ready
 // to use; all methods are nil-safe no-ops.
+//
+//ssdx:nilhook
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores n.
@@ -81,6 +85,8 @@ func (g *Gauge) Value() int64 {
 // less than or equal to their upper bound (Prometheus `le` semantics); one
 // implicit +Inf bucket catches the rest. The zero value is unusable — build
 // through Registry.Histogram — but all methods are nil-safe.
+//
+//ssdx:nilhook
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
@@ -182,6 +188,8 @@ type entry struct {
 // name twice with the same kind returns the original metric (wiring from
 // several workers converges on shared counters), registering it with a
 // different kind panics — a name must never change meaning mid-run.
+//
+//ssdx:nilhook
 type Registry struct {
 	mu      sync.Mutex
 	byName  map[string]*entry
@@ -407,11 +415,13 @@ func braced(labels string) string {
 // Snapshot returns every series as a flat name → value map, JSON-friendly
 // (Go marshals map keys sorted, so the snapshot is stable too). Histograms
 // expand to <name>_count and <name>_sum. Nil registry returns an empty map.
+//
+//ssdx:export
 func (r *Registry) Snapshot() map[string]float64 {
-	out := make(map[string]float64)
 	if r == nil {
-		return out
+		return map[string]float64{}
 	}
+	out := make(map[string]float64)
 	for _, e := range r.sorted() {
 		switch e.kind {
 		case counterKind:

@@ -43,6 +43,37 @@ func TestNilSafety(t *testing.T) {
 	}
 }
 
+// TestNilRegistryHandler pins Handler's own nil guard: the returned handler
+// must serve an empty exposition without touching the nil receiver.
+func TestNilRegistryHandler(t *testing.T) {
+	var r *Registry
+	h := r.Handler()
+	if h == nil {
+		t.Fatal("nil registry Handler returned nil")
+	}
+	rec := &recorder{header: make(http.Header)}
+	h.ServeHTTP(rec, nil)
+	if rec.body.Len() != 0 {
+		t.Fatalf("nil registry served a body: %q", rec.body.String())
+	}
+	if ct := rec.header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("nil registry handler Content-Type = %q", ct)
+	}
+}
+
+// recorder is a minimal http.ResponseWriter for handler tests.
+type recorder struct {
+	header http.Header
+	body   strings.Builder
+	code   int
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+func (r *recorder) WriteHeader(code int) { r.code = code }
+
 // TestPrometheusExposition pins the text format: HELP/TYPE once per family,
 // label blocks preserved, histogram buckets cumulative with +Inf, and the
 // whole body byte-identical across repeated scrapes (stable ordering).

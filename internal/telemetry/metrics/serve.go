@@ -11,6 +11,11 @@ import (
 // Handler returns an http.Handler serving the registry in Prometheus text
 // exposition format. Safe on a nil registry (serves an empty body).
 func (r *Registry) Handler() http.Handler {
+	if r == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		})
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
@@ -60,4 +65,3 @@ func snapshotHandler(reg *Registry) http.Handler {
 		_, _ = w.Write(append(b, '\n'))
 	})
 }
-

@@ -201,6 +201,8 @@ type resource struct {
 
 // Tracer collects resource activity for one simulation run. The zero value
 // is unusable; build one with New. All recording methods are nil-safe.
+//
+//ssdx:nilhook
 type Tracer struct {
 	opt Options
 	res []*resource
@@ -488,6 +490,8 @@ func (r *Report) KindUtil(kind Kind) float64 {
 
 // Report aggregates everything recorded so far into a Report normalized
 // over [0, simEnd). Wall-clock Profile fields are left zero for the caller.
+//
+//ssdx:export
 func (t *Tracer) Report(simEnd sim.Time) *Report {
 	if t == nil {
 		return nil

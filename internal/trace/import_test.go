@@ -113,11 +113,11 @@ func TestImportErrors(t *testing.T) {
 		format Format
 		input  string
 	}{
-		{FormatMSR, "xyz,hm,0,Read,0,4096,1\n"},   // bad timestamp
-		{FormatMSR, "1,hm,0,Flush,0,4096,1\n"},    // bad op
-		{FormatMSR, "1,hm,0,Read,-5,4096,1\n"},    // bad offset
-		{FormatMSR, "1,hm,0,Read,0\n"},            // short row
-		{FormatBlktrace, "8,0 0 1 xx 1 Q W 0 + 8 [p]\n"},  // bad time
+		{FormatMSR, "xyz,hm,0,Read,0,4096,1\n"},            // bad timestamp
+		{FormatMSR, "1,hm,0,Flush,0,4096,1\n"},             // bad op
+		{FormatMSR, "1,hm,0,Read,-5,4096,1\n"},             // bad offset
+		{FormatMSR, "1,hm,0,Read,0\n"},                     // short row
+		{FormatBlktrace, "8,0 0 1 xx 1 Q W 0 + 8 [p]\n"},   // bad time
 		{FormatBlktrace, "8,0 0 1 0.0 1 Q W -1 + 8 [p]\n"}, // bad sector
 		{FormatBlktrace, "8,0 0 1 0.0 1 Q W 0 + -8 [p]\n"}, // bad count
 		{FormatBlktrace, "8,0 0 1 0.0 1 Q W\n"},            // truncated Q line (no sector)
